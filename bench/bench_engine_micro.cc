@@ -1,0 +1,106 @@
+// Google-benchmark micro-benchmarks for the engine substrate: event queue,
+// channel transport, keyed state backend, routing and key-space mapping.
+// These quantify the simulator's own costs (wall-clock per simulated event),
+// which bound how large a scaled-up experiment one core can replay.
+
+#include <benchmark/benchmark.h>
+
+#include "common/random.h"
+#include "dataflow/key_space.h"
+#include "net/channel.h"
+#include "sim/simulator.h"
+#include "state/keyed_state.h"
+
+namespace drrs {
+namespace {
+
+void BM_EventQueueScheduleRun(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Simulator sim;
+    int64_t sink = 0;
+    for (int i = 0; i < 1024; ++i) {
+      sim.ScheduleAt(i * 7 % 997, [&sink] { ++sink; });
+    }
+    sim.RunUntilIdle();
+    benchmark::DoNotOptimize(sink);
+  }
+  state.SetItemsProcessed(state.iterations() * 1024);
+}
+BENCHMARK(BM_EventQueueScheduleRun);
+
+class NullReceiver : public net::ChannelReceiver {
+ public:
+  void OnElementAvailable(net::Channel* ch) override {
+    // Consume immediately: keeps the credit window open.
+    while (ch->HasInput()) ch->PopInput();
+  }
+  void OnControlBypass(net::Channel*,
+                       const dataflow::StreamElement&) override {}
+};
+
+void BM_ChannelTransport(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Simulator sim;
+    NullReceiver receiver;
+    net::Channel ch(&sim, net::NetworkConfig{}, 0, 1, &receiver);
+    for (int i = 0; i < 1024; ++i) {
+      ch.Push(dataflow::MakeRecord(i, i, i, i, 100));
+    }
+    sim.RunUntilIdle();
+    benchmark::DoNotOptimize(ch.delivered_elements());
+  }
+  state.SetItemsProcessed(state.iterations() * 1024);
+}
+BENCHMARK(BM_ChannelTransport);
+
+void BM_KeyedStateAccess(benchmark::State& state) {
+  state::KeyedStateBackend backend(128);
+  for (uint32_t kg = 0; kg < 128; ++kg) backend.AcquireKeyGroup(kg);
+  dataflow::KeySpace ks(128);
+  Rng rng(7);
+  for (auto _ : state) {
+    dataflow::KeyT key = rng.NextBounded(100000);
+    auto* cell = backend.GetOrCreate(ks.KeyGroupOf(key), key);
+    cell->counter += 1;
+    benchmark::DoNotOptimize(cell);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_KeyedStateAccess);
+
+void BM_KeyGroupExtractInstall(benchmark::State& state) {
+  const int keys = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    state.PauseTiming();
+    state::KeyedStateBackend a(8), b(8);
+    a.AcquireKeyGroup(3);
+    for (int k = 0; k < keys; ++k) a.GetOrCreate(3, k)->counter = k;
+    state.ResumeTiming();
+    b.InstallKeyGroup(a.ExtractKeyGroup(3));
+    benchmark::DoNotOptimize(b.KeyCount(3));
+  }
+  state.SetItemsProcessed(state.iterations() * keys);
+}
+BENCHMARK(BM_KeyGroupExtractInstall)->Arg(100)->Arg(1000)->Arg(10000);
+
+void BM_KeySpaceMapping(benchmark::State& state) {
+  dataflow::KeySpace ks(128);
+  Rng rng(3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ks.KeyGroupOf(rng.Next()));
+  }
+}
+BENCHMARK(BM_KeySpaceMapping);
+
+void BM_ZipfSampling(benchmark::State& state) {
+  ZipfSampler zipf(100000, 1.0, 11);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(zipf.Sample());
+  }
+}
+BENCHMARK(BM_ZipfSampling);
+
+}  // namespace
+}  // namespace drrs
+
+BENCHMARK_MAIN();

@@ -1,0 +1,90 @@
+// Reproduces Fig 2: latency over time for Unbound (the correctness-free
+// probe), generalized OTFS with fluid migration, and No Scale, on the Twitch
+// workload at a fixed input rate. The motivating observation (Section II-B):
+// Unbound, which eliminates L_p and L_s and bypasses L_d, performs close to
+// No Scale, while OTFS degrades severely — confirming that those three
+// factors dominate on-the-fly scaling overhead.
+
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_workloads.h"
+
+namespace {
+
+using drrs::harness::ExperimentResult;
+using drrs::harness::RunExperiment;
+using drrs::harness::SystemKind;
+using drrs::bench::BenchArgs;
+using drrs::bench::BenchSetups;
+using drrs::bench::BuildByName;
+namespace sim = drrs::sim;
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  BenchArgs args = BenchArgs::Parse(argc, argv);
+  std::printf("DRRS reproduction — Fig 2 (Unbound vs OTFS vs No Scale)\n");
+
+  const SystemKind systems[] = {SystemKind::kUnbound, SystemKind::kOtfsFluid,
+                                SystemKind::kNoScale};
+  std::vector<ExperimentResult> results;
+  for (SystemKind kind : systems) {
+    // Fig 2's premise is an *adequately provisioned* pipeline under a fixed
+    // input rate: No Scale is the ideal (stable latency) and any scaling
+    // overhead is pure disruption. Twitch at ~0.8 average load with milder
+    // skew keeps the hottest instance stable while queues are deep enough
+    // that suspensions are visible in end-to-end latency.
+    auto params = BenchSetups::Twitch(args.scale);
+    params.record_cost = drrs::sim::Micros(1600);
+    params.user_skew = 0.5;
+    // A perfectly paced feed: the No Scale latency stays flat, so every
+    // spike in the other curves is attributable to the scaling mechanism.
+    params.deterministic_gaps = true;
+    auto spec = drrs::workloads::BuildTwitchWorkload(params);
+    auto config = BenchSetups::Config(kind);
+    // Keep the invariant counters armed: Unbound's correctness sacrifice is
+    // part of what this figure demonstrates.
+    config.engine.check_invariants = true;
+    results.push_back(RunExperiment(spec, config));
+  }
+
+  const ExperimentResult& noscale = results[2];
+  // Each scaled system is measured over its *own* disruption window (its
+  // scaling period); the No Scale reference uses the steady-state level over
+  // the same horizon. Measuring everyone over one long window would credit
+  // the scaled runs for their added capacity instead of charging them for
+  // disruption.
+  sim::SimTime from = BenchSetups::ScaleAt();
+  double ns_avg = noscale.MeanIn(from, from + sim::Seconds(30));
+  double ns_peak = noscale.PeakIn(from, from + sim::Seconds(30));
+
+  std::printf("%-12s %12s %12s %14s %14s %20s\n", "system", "avg(ms)",
+              "peak(ms)", "avg/no-scale", "peak/no-scale",
+              "state-miss-records");
+  for (const auto& r : results) {
+    sim::SimTime to =
+        from + std::max<sim::SimTime>(r.scaling_period, sim::Seconds(5));
+    if (&r == &noscale) to = from + sim::Seconds(30);
+    std::printf("%-12s %12.1f %12.1f %14.2fx %14.2fx %20llu\n",
+                r.system.c_str(), r.MeanIn(from, to), r.PeakIn(from, to),
+                ns_avg > 0 ? r.MeanIn(from, to) / ns_avg : 0,
+                ns_peak > 0 ? r.PeakIn(from, to) / ns_peak : 0,
+                static_cast<unsigned long long>(
+                    r.invariants.state_miss_processing));
+  }
+  std::printf(
+      "\npaper (Twitch): OTFS 3.47x avg / 4.8x peak of No Scale;"
+      " Unbound 1.25x avg / 1.14x peak.\n"
+      "Unbound trades correctness for this: its state-miss count above is"
+      " nonzero by design.\n");
+
+  if (args.series) {
+    for (const auto& r : results) {
+      drrs::harness::PrintSeries("fig02-" + r.system + " latency_ms",
+                                 r.hub->latency_ms(), sim::Seconds(2),
+                                 /*use_max=*/true);
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,81 @@
+// Reproduces Fig 11: source-output throughput over time for the same runs as
+// Fig 10 (DRRS vs Megaphone vs Meces on Q7/Q8/Twitch). The expected pattern
+// (Section V-B): throughput drops when scaling begins, then overshoots above
+// the input rate while the backlog flushes, and finally restabilizes — with
+// DRRS showing the smallest dip and the fastest return.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench/bench_workloads.h"
+
+namespace {
+
+using drrs::harness::ExperimentResult;
+using drrs::harness::RunExperiment;
+using drrs::harness::SystemKind;
+using drrs::bench::BenchArgs;
+using drrs::bench::BenchSetups;
+using drrs::bench::BuildByName;
+namespace sim = drrs::sim;
+
+double InputRate(const std::string& workload, double scale) {
+  if (workload == "q7") return BenchSetups::Q7(scale).events_per_second;
+  if (workload == "q8") return BenchSetups::Q8(scale).events_per_second;
+  return BenchSetups::Twitch(scale).events_per_second;
+}
+
+void RunWorkload(const std::string& workload, const BenchArgs& args) {
+  std::printf("\n=== Fig 11 (%s): throughput during 8->12 rescale ===\n",
+              workload.c_str());
+  double input_rate = InputRate(workload, args.scale);
+  const SystemKind systems[] = {SystemKind::kDrrs, SystemKind::kMegaphone,
+                                SystemKind::kMeces};
+  std::vector<ExperimentResult> results;
+  for (SystemKind kind : systems) {
+    auto spec = BuildByName(workload, args.scale);
+    results.push_back(RunExperiment(spec, BenchSetups::Config(kind)));
+  }
+
+  sim::SimTime from = BenchSetups::ScaleAt();
+  std::printf("input rate: %.0f rec/s\n", input_rate);
+  std::printf("%-12s %14s %14s %18s %22s\n", "system", "min-tput(r/s)",
+              "max-tput(r/s)", "drop-below-input", "mean-|dev|-during-scale");
+  for (const auto& r : results) {
+    auto rates = r.hub->source_rate().ToRateSeries();
+    sim::SimTime to = from + std::max<sim::SimTime>(r.scaling_period,
+                                                    sim::Seconds(10));
+    double mn = 1e18, mx = 0, dev = 0;
+    uint64_t n = 0;
+    for (const auto& s : rates.samples()) {
+      if (s.time < from || s.time > to) continue;
+      mn = std::min(mn, s.value);
+      mx = std::max(mx, s.value);
+      dev += std::abs(s.value - input_rate);
+      ++n;
+    }
+    std::printf("%-12s %14.0f %14.0f %17.1f%% %20.0f r/s\n", r.system.c_str(),
+                mn, mx, (1.0 - mn / input_rate) * 100.0,
+                n ? dev / static_cast<double>(n) : 0.0);
+  }
+
+  if (args.series) {
+    for (const auto& r : results) {
+      drrs::harness::PrintRateSeries(
+          "fig11-" + workload + "-" + r.system + " throughput_rec_per_s",
+          r.hub->source_rate());
+    }
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  BenchArgs args = BenchArgs::Parse(argc, argv);
+  std::printf("DRRS reproduction — Fig 11 (throughput comparison)\n");
+  for (const std::string& w : {"q7", "q8", "twitch"}) {
+    RunWorkload(w, args);
+  }
+  return 0;
+}

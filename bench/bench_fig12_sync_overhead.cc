@@ -1,0 +1,48 @@
+// Reproduces Fig 12: cumulative propagation delay (sum over scaling signals
+// of the interval between injection and first triggered state migration) and
+// average dependency-related overhead (mean interval from a state unit's
+// signal injection to its migration start), for DRRS vs Megaphone vs Meces
+// on Q7/Q8/Twitch.
+//
+// Expected shape (Section V-B): Megaphone's timestamp-driven sequential
+// units give it by far the largest values on both metrics; Meces's single
+// synchronization gives it the lowest propagation; DRRS sits low on both.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench/bench_workloads.h"
+
+namespace {
+
+using drrs::harness::ExperimentResult;
+using drrs::harness::RunExperiment;
+using drrs::harness::SystemKind;
+using drrs::bench::BenchArgs;
+using drrs::bench::BenchSetups;
+using drrs::bench::BuildByName;
+namespace sim = drrs::sim;
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  BenchArgs args = BenchArgs::Parse(argc, argv);
+  std::printf(
+      "DRRS reproduction — Fig 12 (cumulative propagation delay & average "
+      "dependency-related overhead)\n\n");
+  std::printf("%-8s %-12s %26s %26s\n", "workload", "system",
+              "cum-propagation(ms)", "avg-dependency(ms)");
+  for (const std::string& w : {"q7", "q8", "twitch"}) {
+    for (SystemKind kind :
+         {SystemKind::kDrrs, SystemKind::kMegaphone, SystemKind::kMeces}) {
+      auto spec = BuildByName(w, args.scale);
+      auto r = RunExperiment(spec, BenchSetups::Config(kind));
+      std::printf("%-8s %-12s %26.1f %26.1f\n", w.c_str(), r.system.c_str(),
+                  sim::ToMillis(r.cumulative_propagation),
+                  r.avg_dependency_us / 1000.0);
+    }
+    std::printf("\n");
+  }
+  return 0;
+}

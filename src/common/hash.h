@@ -1,0 +1,22 @@
+#ifndef DRRS_COMMON_HASH_H_
+#define DRRS_COMMON_HASH_H_
+
+#include <cstdint>
+
+namespace drrs {
+
+/// 64-bit mix (MurmurHash3 finalizer). Used to map record keys to key-groups;
+/// a strong mixer keeps key-group occupancy balanced even for sequential keys.
+inline uint64_t HashKey(uint64_t key) {
+  uint64_t h = key;
+  h ^= h >> 33;
+  h *= 0xFF51AFD7ED558CCDULL;
+  h ^= h >> 33;
+  h *= 0xC4CEB9FE1A85EC53ULL;
+  h ^= h >> 33;
+  return h;
+}
+
+}  // namespace drrs
+
+#endif  // DRRS_COMMON_HASH_H_

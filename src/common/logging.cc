@@ -1,0 +1,32 @@
+#include "common/logging.h"
+
+namespace drrs {
+
+namespace {
+LogLevel g_level = LogLevel::kWarn;
+
+const char* LevelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "DEBUG";
+    case LogLevel::kInfo:
+      return "INFO ";
+    case LogLevel::kWarn:
+      return "WARN ";
+    case LogLevel::kError:
+      return "ERROR";
+  }
+  return "?";
+}
+}  // namespace
+
+LogLevel Logger::level() { return g_level; }
+
+void Logger::set_level(LogLevel level) { g_level = level; }
+
+void Logger::Log(LogLevel level, const std::string& msg) {
+  if (level < g_level) return;
+  std::cerr << "[" << LevelName(level) << "] " << msg << "\n";
+}
+
+}  // namespace drrs

@@ -1,0 +1,81 @@
+#ifndef DRRS_COMMON_LOGGING_H_
+#define DRRS_COMMON_LOGGING_H_
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+namespace drrs {
+
+/// Severity levels for the engine logger. kDebug is compiled in but filtered
+/// at runtime by Logger::set_level (benches run at kWarn to keep output clean).
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+/// \brief Minimal process-wide logger used by the engine.
+///
+/// A full logging framework is out of scope; this provides leveled, prefixed
+/// lines on stderr plus a runtime filter, which is all the simulator needs.
+class Logger {
+ public:
+  static LogLevel level();
+  static void set_level(LogLevel level);
+  static void Log(LogLevel level, const std::string& msg);
+};
+
+namespace internal {
+
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line) : level_(level) {
+    stream_ << file << ":" << line << "] ";
+  }
+  ~LogMessage() { Logger::Log(level_, stream_.str()); }
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  std::ostringstream& stream() { return stream_; }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+class FatalMessage {
+ public:
+  FatalMessage(const char* file, int line) {
+    stream_ << file << ":" << line << "] ";
+  }
+  [[noreturn]] ~FatalMessage() {
+    Logger::Log(LogLevel::kError, stream_.str());
+    std::abort();
+  }
+
+  FatalMessage(const FatalMessage&) = delete;
+  FatalMessage& operator=(const FatalMessage&) = delete;
+
+  std::ostringstream& stream() { return stream_; }
+
+ private:
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+}  // namespace drrs
+
+#define DRRS_LOG(level)                                                    \
+  ::drrs::internal::LogMessage(::drrs::LogLevel::k##level, __FILE__, \
+                               __LINE__)                                   \
+      .stream()
+
+/// Invariant check: aborts the process with a message when violated. Used for
+/// internal engine invariants (not for user-input validation, which returns
+/// Status).
+#define DRRS_CHECK(cond)                                        \
+  if (cond) {                                                   \
+  } else                                                        \
+    ::drrs::internal::FatalMessage(__FILE__, __LINE__).stream() \
+        << "Check failed: " #cond " "
+
+#endif  // DRRS_COMMON_LOGGING_H_

@@ -1,0 +1,60 @@
+#include "common/random.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace drrs {
+
+uint64_t Rng::Next() {
+  // SplitMix64 (Steele, Lea, Flood 2014).
+  state_ += 0x9E3779B97F4A7C15ULL;
+  uint64_t z = state_;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+uint64_t Rng::NextBounded(uint64_t bound) {
+  DRRS_CHECK(bound > 0);
+  // Rejection-free multiply-shift; bias is negligible for bound << 2^64.
+  return static_cast<uint64_t>(
+      (static_cast<__uint128_t>(Next()) * bound) >> 64);
+}
+
+double Rng::NextDouble() {
+  return static_cast<double>(Next() >> 11) * 0x1.0p-53;
+}
+
+double Rng::NextExponential(double mean) {
+  double u = NextDouble();
+  // Avoid log(0).
+  if (u <= 0.0) u = 0x1.0p-53;
+  return -mean * std::log(u);
+}
+
+Rng Rng::Fork() { return Rng(Next() ^ 0xD6E8FEB86659FD93ULL); }
+
+ZipfSampler::ZipfSampler(uint64_t n, double skew, uint64_t seed)
+    : n_(n), skew_(skew), rng_(seed) {
+  DRRS_CHECK(n > 0);
+  if (skew_ <= 0.0) return;  // uniform fast path
+  cdf_.resize(n_);
+  double sum = 0.0;
+  for (uint64_t i = 0; i < n_; ++i) {
+    sum += 1.0 / std::pow(static_cast<double>(i + 1), skew_);
+    cdf_[i] = sum;
+  }
+  for (uint64_t i = 0; i < n_; ++i) cdf_[i] /= sum;
+}
+
+uint64_t ZipfSampler::Sample() {
+  if (cdf_.empty()) return rng_.NextBounded(n_);
+  double u = rng_.NextDouble();
+  auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  if (it == cdf_.end()) return n_ - 1;
+  return static_cast<uint64_t>(it - cdf_.begin());
+}
+
+}  // namespace drrs

@@ -1,0 +1,59 @@
+#ifndef DRRS_COMMON_RANDOM_H_
+#define DRRS_COMMON_RANDOM_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace drrs {
+
+/// \brief Deterministic 64-bit PRNG (SplitMix64).
+///
+/// All stochastic behaviour in the engine and workload generators derives
+/// from explicitly seeded Rng instances so every experiment is reproducible.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) : state_(seed) {}
+
+  /// Next raw 64-bit value.
+  uint64_t Next();
+
+  /// Uniform integer in [0, bound). bound must be > 0.
+  uint64_t NextBounded(uint64_t bound);
+
+  /// Uniform double in [0, 1).
+  double NextDouble();
+
+  /// Exponentially distributed inter-arrival gap with the given mean.
+  double NextExponential(double mean);
+
+  /// Fork an independent stream (for per-task generators).
+  Rng Fork();
+
+ private:
+  uint64_t state_;
+};
+
+/// \brief Zipf-distributed sampler over {0, ..., n-1}.
+///
+/// Uses the precomputed-CDF method (n is at most a few million in our
+/// workloads). skew = 0 degenerates to uniform; the paper sweeps skew in
+/// {0.0, 0.5, 1.0, 1.5} (Section V-D).
+class ZipfSampler {
+ public:
+  ZipfSampler(uint64_t n, double skew, uint64_t seed);
+
+  uint64_t Sample();
+
+  uint64_t n() const { return n_; }
+  double skew() const { return skew_; }
+
+ private:
+  uint64_t n_;
+  double skew_;
+  Rng rng_;
+  std::vector<double> cdf_;  // empty when skew == 0 (uniform fast path)
+};
+
+}  // namespace drrs
+
+#endif  // DRRS_COMMON_RANDOM_H_

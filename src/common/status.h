@@ -1,0 +1,100 @@
+#ifndef DRRS_COMMON_STATUS_H_
+#define DRRS_COMMON_STATUS_H_
+
+#include <string>
+#include <utility>
+
+namespace drrs {
+
+/// \brief Error-code based status object (RocksDB/Arrow style).
+///
+/// The engine does not use exceptions; fallible operations return a Status
+/// (or a Result<T>, see below). A default-constructed Status is OK.
+class Status {
+ public:
+  enum class Code {
+    kOk = 0,
+    kInvalidArgument,
+    kNotFound,
+    kAlreadyExists,
+    kFailedPrecondition,
+    kResourceExhausted,
+    kInternal,
+    kUnimplemented,
+  };
+
+  Status() : code_(Code::kOk) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(Code::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(Code::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(Code::kAlreadyExists, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(Code::kFailedPrecondition, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(Code::kResourceExhausted, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(Code::kInternal, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(Code::kUnimplemented, std::move(msg));
+  }
+
+  bool ok() const { return code_ == Code::kOk; }
+  Code code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// Human-readable rendering, e.g. "InvalidArgument: bad key".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const { return code_ == other.code_; }
+
+ private:
+  Status(Code code, std::string msg) : code_(code), message_(std::move(msg)) {}
+
+  Code code_;
+  std::string message_;
+};
+
+/// \brief Value-or-status holder for fallible functions that produce a value.
+template <typename T>
+class Result {
+ public:
+  // NOLINTNEXTLINE(google-explicit-constructor): ergonomic `return value;`.
+  Result(T value) : status_(Status::OK()), value_(std::move(value)) {}
+  // NOLINTNEXTLINE(google-explicit-constructor): ergonomic `return status;`.
+  Result(Status status) : status_(std::move(status)) {}
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& { return value_; }
+  T& value() & { return value_; }
+  T&& value() && { return std::move(value_); }
+
+  const T& operator*() const& { return value_; }
+  T& operator*() & { return value_; }
+
+ private:
+  Status status_;
+  T value_{};
+};
+
+}  // namespace drrs
+
+/// Propagate a non-OK status to the caller.
+#define DRRS_RETURN_NOT_OK(expr)                   \
+  do {                                             \
+    ::drrs::Status _st = (expr);                   \
+    if (!_st.ok()) return _st;                     \
+  } while (false)
+
+#endif  // DRRS_COMMON_STATUS_H_

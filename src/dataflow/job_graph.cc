@@ -1,0 +1,106 @@
+#include "dataflow/job_graph.h"
+
+#include <unordered_set>
+
+namespace drrs::dataflow {
+
+OperatorId JobGraph::AddOperator(OperatorSpec spec) {
+  operators_.push_back(std::move(spec));
+  return static_cast<OperatorId>(operators_.size() - 1);
+}
+
+Status JobGraph::Connect(OperatorId from, OperatorId to,
+                         Partitioning partitioning) {
+  if (from >= operators_.size() || to >= operators_.size()) {
+    return Status::InvalidArgument("edge references unknown operator");
+  }
+  if (from == to) return Status::InvalidArgument("self edge");
+  edges_.push_back(EdgeSpec{from, to, partitioning});
+  return Status::OK();
+}
+
+std::vector<OperatorId> JobGraph::PredecessorsOf(OperatorId id) const {
+  std::vector<OperatorId> out;
+  for (const EdgeSpec& e : edges_) {
+    if (e.to == id) out.push_back(e.from);
+  }
+  return out;
+}
+
+std::vector<OperatorId> JobGraph::SuccessorsOf(OperatorId id) const {
+  std::vector<OperatorId> out;
+  for (const EdgeSpec& e : edges_) {
+    if (e.from == id) out.push_back(e.to);
+  }
+  return out;
+}
+
+Status JobGraph::Validate() const {
+  if (operators_.empty()) return Status::InvalidArgument("empty job graph");
+  for (OperatorId id = 0; id < operators_.size(); ++id) {
+    const OperatorSpec& op = operators_[id];
+    if (op.parallelism == 0) {
+      return Status::InvalidArgument("operator '" + op.name +
+                                     "' has zero parallelism");
+    }
+    if (op.is_source && !PredecessorsOf(id).empty()) {
+      return Status::InvalidArgument("source '" + op.name + "' has inputs");
+    }
+    if (op.is_sink && !SuccessorsOf(id).empty()) {
+      return Status::InvalidArgument("sink '" + op.name + "' has outputs");
+    }
+    if (!op.is_source && PredecessorsOf(id).empty()) {
+      return Status::InvalidArgument("operator '" + op.name +
+                                     "' is unreachable");
+    }
+    if (!op.is_source && !op.is_sink && !op.factory) {
+      return Status::InvalidArgument("operator '" + op.name +
+                                     "' lacks a factory");
+    }
+    if (op.is_source && !op.source_factory) {
+      return Status::InvalidArgument("source '" + op.name +
+                                     "' lacks a source_factory");
+    }
+  }
+  for (const EdgeSpec& e : edges_) {
+    if (e.partitioning == Partitioning::kForward &&
+        operators_[e.from].parallelism != operators_[e.to].parallelism) {
+      return Status::InvalidArgument(
+          "forward edge requires equal parallelism: " +
+          operators_[e.from].name + " -> " + operators_[e.to].name);
+    }
+  }
+  // Cycle check via DFS colouring.
+  enum class Colour { kWhite, kGrey, kBlack };
+  std::vector<Colour> colour(operators_.size(), Colour::kWhite);
+  // Iterative DFS.
+  for (OperatorId start = 0; start < operators_.size(); ++start) {
+    if (colour[start] != Colour::kWhite) continue;
+    std::vector<std::pair<OperatorId, size_t>> stack{{start, 0}};
+    colour[start] = Colour::kGrey;
+    while (!stack.empty()) {
+      auto& [node, edge_idx] = stack.back();
+      bool advanced = false;
+      while (edge_idx < edges_.size()) {
+        const EdgeSpec& e = edges_[edge_idx++];
+        if (e.from != node) continue;
+        if (colour[e.to] == Colour::kGrey) {
+          return Status::InvalidArgument("job graph contains a cycle");
+        }
+        if (colour[e.to] == Colour::kWhite) {
+          colour[e.to] = Colour::kGrey;
+          stack.emplace_back(e.to, 0);
+          advanced = true;
+          break;
+        }
+      }
+      if (!advanced) {
+        colour[node] = Colour::kBlack;
+        stack.pop_back();
+      }
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace drrs::dataflow

@@ -1,0 +1,80 @@
+#ifndef DRRS_DATAFLOW_JOB_GRAPH_H_
+#define DRRS_DATAFLOW_JOB_GRAPH_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "dataflow/operator.h"
+#include "dataflow/source_generator.h"
+#include "dataflow/stream_element.h"
+#include "sim/sim_time.h"
+
+namespace drrs::dataflow {
+
+/// How records are distributed on an edge.
+enum class Partitioning : uint8_t {
+  kHash = 0,    ///< key-group routing via predecessor routing tables
+  kRebalance,   ///< round-robin (stateless hops)
+  kForward,     ///< subtask i -> subtask i (requires equal parallelism)
+};
+
+/// Logical operator description. `factory` is null for sources/sinks, whose
+/// behaviour is provided by the runtime (SourceTask / SinkTask).
+struct OperatorSpec {
+  std::string name;
+  uint32_t parallelism = 1;
+  bool is_source = false;
+  bool is_sink = false;
+  bool is_stateful = false;
+  OperatorFactory factory;
+  /// Required iff is_source.
+  SourceGeneratorFactory source_factory;
+
+  /// Simulated CPU time consumed per data record (the load model).
+  sim::SimTime record_cost = sim::Micros(50);
+
+  /// Extra cost applied per emitted output record (serialization model).
+  sim::SimTime emit_cost = sim::Micros(0);
+};
+
+struct EdgeSpec {
+  OperatorId from = 0;
+  OperatorId to = 0;
+  Partitioning partitioning = Partitioning::kHash;
+};
+
+/// \brief Logical DAG of operators, built by workloads and compiled into an
+/// ExecutionGraph by the runtime.
+class JobGraph {
+ public:
+  explicit JobGraph(uint32_t num_key_groups) : num_key_groups_(num_key_groups) {}
+
+  uint32_t num_key_groups() const { return num_key_groups_; }
+
+  /// Appends an operator; returns its id. Ids are dense, in insertion order.
+  OperatorId AddOperator(OperatorSpec spec);
+
+  Status Connect(OperatorId from, OperatorId to, Partitioning partitioning);
+
+  const std::vector<OperatorSpec>& operators() const { return operators_; }
+  const std::vector<EdgeSpec>& edges() const { return edges_; }
+  OperatorSpec* mutable_operator(OperatorId id) { return &operators_[id]; }
+
+  /// Ids of operators with an edge into / out of `id`.
+  std::vector<OperatorId> PredecessorsOf(OperatorId id) const;
+  std::vector<OperatorId> SuccessorsOf(OperatorId id) const;
+
+  /// Sanity checks: dense DAG, sources have no inputs, sinks no outputs,
+  /// forward edges have matching parallelism.
+  Status Validate() const;
+
+ private:
+  uint32_t num_key_groups_;
+  std::vector<OperatorSpec> operators_;
+  std::vector<EdgeSpec> edges_;
+};
+
+}  // namespace drrs::dataflow
+
+#endif  // DRRS_DATAFLOW_JOB_GRAPH_H_

@@ -1,0 +1,20 @@
+#include "dataflow/key_space.h"
+
+#include "common/logging.h"
+
+namespace drrs::dataflow {
+
+std::vector<InstanceId> KeySpace::UniformAssignment(
+    uint32_t parallelism) const {
+  DRRS_CHECK(parallelism > 0);
+  std::vector<InstanceId> assignment(num_key_groups_);
+  for (uint32_t kg = 0; kg < num_key_groups_; ++kg) {
+    // Matches Flink's KeyGroupRangeAssignment: the owner of key-group kg is
+    // kg * parallelism / num_key_groups.
+    assignment[kg] = static_cast<InstanceId>(
+        static_cast<uint64_t>(kg) * parallelism / num_key_groups_);
+  }
+  return assignment;
+}
+
+}  // namespace drrs::dataflow

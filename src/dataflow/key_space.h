@@ -1,0 +1,38 @@
+#ifndef DRRS_DATAFLOW_KEY_SPACE_H_
+#define DRRS_DATAFLOW_KEY_SPACE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/hash.h"
+#include "dataflow/stream_element.h"
+
+namespace drrs::dataflow {
+
+/// \brief Maps record keys to key-groups, Flink-style.
+///
+/// The key-group is the atomic unit of state partitioning and migration
+/// (paper Section V-A: "key-group serving as the atomic migration unit").
+class KeySpace {
+ public:
+  explicit KeySpace(uint32_t num_key_groups)
+      : num_key_groups_(num_key_groups) {}
+
+  uint32_t num_key_groups() const { return num_key_groups_; }
+
+  KeyGroupId KeyGroupOf(KeyT key) const {
+    return static_cast<KeyGroupId>(HashKey(key) % num_key_groups_);
+  }
+
+  /// Flink's uniform range assignment of key-groups to `parallelism`
+  /// instances: instance i owns the contiguous range
+  /// [i*G/p, (i+1)*G/p). Returns key_group -> instance index.
+  std::vector<InstanceId> UniformAssignment(uint32_t parallelism) const;
+
+ private:
+  uint32_t num_key_groups_;
+};
+
+}  // namespace drrs::dataflow
+
+#endif  // DRRS_DATAFLOW_KEY_SPACE_H_

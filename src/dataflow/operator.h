@@ -1,0 +1,69 @@
+#ifndef DRRS_DATAFLOW_OPERATOR_H_
+#define DRRS_DATAFLOW_OPERATOR_H_
+
+#include <functional>
+#include <memory>
+
+#include "dataflow/stream_element.h"
+#include "sim/sim_time.h"
+#include "state/keyed_state.h"
+
+namespace drrs::dataflow {
+
+/// \brief Facilities the engine hands to an operator while it processes an
+/// element: output emission and keyed state access.
+///
+/// Implemented by runtime::Task. Watermarks/latency markers are forwarded by
+/// the engine itself; operators only see them via the Process hooks below.
+class OperatorContext {
+ public:
+  virtual ~OperatorContext() = default;
+
+  /// Emit a data record downstream. Routing (hash/rebalance) is applied by
+  /// the engine; `record.key` determines the hash route.
+  virtual void Emit(const StreamElement& record) = 0;
+
+  /// Keyed state backend of this instance (null for stateless operators).
+  virtual state::KeyedStateBackend* state() = 0;
+
+  /// Current simulated time.
+  virtual sim::SimTime now() const = 0;
+
+  /// Current operator-level watermark (-1 before the first watermark).
+  virtual sim::SimTime watermark() const = 0;
+
+  /// Subtask index of this instance within its operator.
+  virtual uint32_t subtask_index() const = 0;
+};
+
+/// \brief User-logic interface, one instance per task.
+///
+/// Operators must be deterministic per key: given the same sequence of
+/// records for a key (in any interleaving with other keys), they produce the
+/// same per-key outputs. This is the property the scaling-correctness tests
+/// rely on (paper Section I: "output identical to that of a non-scaling
+/// execution for deterministic operators").
+class Operator {
+ public:
+  virtual ~Operator() = default;
+
+  /// Called once before any element is processed.
+  virtual void Open(OperatorContext* /*ctx*/) {}
+
+  /// Process one data record.
+  virtual void ProcessRecord(const StreamElement& record,
+                             OperatorContext* ctx) = 0;
+
+  /// Process an (already channel-aligned) operator-level watermark advance.
+  /// Default: nothing; window operators flush due windows here. The engine
+  /// forwards the watermark downstream automatically.
+  virtual void ProcessWatermark(sim::SimTime /*watermark*/,
+                                OperatorContext* /*ctx*/) {}
+};
+
+/// Factory creating one operator instance per subtask.
+using OperatorFactory = std::function<std::unique_ptr<Operator>()>;
+
+}  // namespace drrs::dataflow
+
+#endif  // DRRS_DATAFLOW_OPERATOR_H_

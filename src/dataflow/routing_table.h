@@ -1,0 +1,40 @@
+#ifndef DRRS_DATAFLOW_ROUTING_TABLE_H_
+#define DRRS_DATAFLOW_ROUTING_TABLE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "dataflow/stream_element.h"
+
+namespace drrs::dataflow {
+
+/// \brief Key-group -> downstream-subtask routing, held by each predecessor
+/// of a keyed (hash-partitioned) edge.
+///
+/// Scaling mechanisms update routing tables: coupled approaches update them
+/// together with barrier emission; DRRS updates them at signal injection time
+/// (paper Section III-A, Fig. 4a).
+class RoutingTable {
+ public:
+  RoutingTable() = default;
+  explicit RoutingTable(std::vector<InstanceId> target_by_key_group)
+      : targets_(std::move(target_by_key_group)) {}
+
+  uint32_t num_key_groups() const {
+    return static_cast<uint32_t>(targets_.size());
+  }
+
+  InstanceId TargetOf(KeyGroupId kg) const { return targets_[kg]; }
+
+  void Update(KeyGroupId kg, InstanceId target) { targets_[kg] = target; }
+
+  const std::vector<InstanceId>& targets() const { return targets_; }
+
+ private:
+  std::vector<InstanceId> targets_;  // indexed by key-group; values are
+                                     // subtask indexes of the downstream op.
+};
+
+}  // namespace drrs::dataflow
+
+#endif  // DRRS_DATAFLOW_ROUTING_TABLE_H_

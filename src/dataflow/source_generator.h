@@ -1,0 +1,36 @@
+#ifndef DRRS_DATAFLOW_SOURCE_GENERATOR_H_
+#define DRRS_DATAFLOW_SOURCE_GENERATOR_H_
+
+#include <functional>
+#include <memory>
+
+#include "dataflow/stream_element.h"
+#include "sim/sim_time.h"
+
+namespace drrs::dataflow {
+
+/// \brief Produces the input stream of one source subtask.
+///
+/// `arrival` is the time the event reaches the external feed (the "Kafka
+/// arrival"): monotonically non-decreasing per generator. The source emits
+/// the element no earlier than `arrival`; under backpressure it emits later,
+/// which is exactly how the paper's end-to-end latency "includes the Kafka
+/// transit time and the additional latency introduced by backpressure"
+/// (Section V-A).
+class SourceGenerator {
+ public:
+  virtual ~SourceGenerator() = default;
+
+  /// Produce the next element. Returns false when the stream is exhausted.
+  virtual bool Next(StreamElement* out, sim::SimTime* arrival) = 0;
+};
+
+/// Creates the generator for subtask `subtask` of `parallelism` (each source
+/// subtask generates an independent partition of the stream).
+using SourceGeneratorFactory =
+    std::function<std::unique_ptr<SourceGenerator>(uint32_t subtask,
+                                                   uint32_t parallelism)>;
+
+}  // namespace drrs::dataflow
+
+#endif  // DRRS_DATAFLOW_SOURCE_GENERATOR_H_

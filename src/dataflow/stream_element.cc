@@ -1,0 +1,103 @@
+#include "dataflow/stream_element.h"
+
+#include <sstream>
+
+namespace drrs::dataflow {
+
+namespace {
+const char* KindName(ElementKind kind) {
+  switch (kind) {
+    case ElementKind::kRecord:
+      return "Record";
+    case ElementKind::kLatencyMarker:
+      return "LatencyMarker";
+    case ElementKind::kWatermark:
+      return "Watermark";
+    case ElementKind::kCheckpointBarrier:
+      return "CheckpointBarrier";
+    case ElementKind::kTriggerBarrier:
+      return "TriggerBarrier";
+    case ElementKind::kConfirmBarrier:
+      return "ConfirmBarrier";
+    case ElementKind::kStateChunk:
+      return "StateChunk";
+    case ElementKind::kFetchRequest:
+      return "FetchRequest";
+    case ElementKind::kScaleComplete:
+      return "ScaleComplete";
+  }
+  return "?";
+}
+}  // namespace
+
+std::string StreamElement::ToString() const {
+  std::ostringstream os;
+  os << KindName(kind);
+  switch (kind) {
+    case ElementKind::kRecord:
+      os << "{key=" << key << " value=" << value << " et=" << event_time
+         << "}";
+      break;
+    case ElementKind::kLatencyMarker:
+      os << "{created=" << create_time << "}";
+      break;
+    case ElementKind::kWatermark:
+      os << "{wm=" << event_time << "}";
+      break;
+    case ElementKind::kCheckpointBarrier:
+      os << "{id=" << checkpoint_id << "}";
+      break;
+    case ElementKind::kTriggerBarrier:
+    case ElementKind::kConfirmBarrier:
+      os << "{scale=" << scale_id << " subscale=" << subscale_id
+         << " from=" << from_instance << "}";
+      break;
+    case ElementKind::kStateChunk:
+      os << "{kg=" << key_group << "/" << sub_key_group
+         << " bytes=" << chunk_bytes << "}";
+      break;
+    case ElementKind::kFetchRequest:
+      os << "{kg=" << key_group << "/" << sub_key_group << "}";
+      break;
+    case ElementKind::kScaleComplete:
+      os << "{scale=" << scale_id << " subscale=" << subscale_id << "}";
+      break;
+  }
+  return os.str();
+}
+
+StreamElement MakeRecord(KeyT key, int64_t value, sim::SimTime event_time,
+                         sim::SimTime create_time, uint32_t payload_bytes) {
+  StreamElement e;
+  e.kind = ElementKind::kRecord;
+  e.key = key;
+  e.value = value;
+  e.event_time = event_time;
+  e.create_time = create_time;
+  e.payload_bytes = payload_bytes;
+  return e;
+}
+
+StreamElement MakeLatencyMarker(sim::SimTime create_time) {
+  StreamElement e;
+  e.kind = ElementKind::kLatencyMarker;
+  e.create_time = create_time;
+  e.payload_bytes = 16;
+  return e;
+}
+
+StreamElement MakeWatermark(sim::SimTime watermark) {
+  StreamElement e;
+  e.kind = ElementKind::kWatermark;
+  e.event_time = watermark;
+  return e;
+}
+
+StreamElement MakeCheckpointBarrier(uint64_t checkpoint_id) {
+  StreamElement e;
+  e.kind = ElementKind::kCheckpointBarrier;
+  e.checkpoint_id = checkpoint_id;
+  return e;
+}
+
+}  // namespace drrs::dataflow

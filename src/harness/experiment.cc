@@ -1,0 +1,168 @@
+#include "harness/experiment.h"
+
+#include <cstdio>
+#include <utility>
+
+#include "common/logging.h"
+#include "scaling/drrs/drrs.h"
+#include "scaling/meces.h"
+#include "scaling/otfs.h"
+#include "scaling/planner.h"
+#include "scaling/stop_restart.h"
+#include "scaling/unbound.h"
+
+namespace drrs::harness {
+
+const char* SystemName(SystemKind kind) {
+  switch (kind) {
+    case SystemKind::kNoScale:
+      return "no-scale";
+    case SystemKind::kDrrs:
+      return "drrs";
+    case SystemKind::kDrrsDR:
+      return "drrs-dr";
+    case SystemKind::kDrrsSchedule:
+      return "drrs-schedule";
+    case SystemKind::kDrrsSubscale:
+      return "drrs-subscale";
+    case SystemKind::kMegaphone:
+      return "megaphone";
+    case SystemKind::kMeces:
+      return "meces";
+    case SystemKind::kOtfsFluid:
+      return "otfs-fluid";
+    case SystemKind::kOtfsAllAtOnce:
+      return "otfs-all-at-once";
+    case SystemKind::kUnbound:
+      return "unbound";
+    case SystemKind::kStopRestart:
+      return "stop-restart";
+  }
+  return "?";
+}
+
+std::unique_ptr<scaling::ScalingStrategy> MakeStrategy(
+    SystemKind kind, runtime::ExecutionGraph* graph) {
+  switch (kind) {
+    case SystemKind::kNoScale:
+      return nullptr;
+    case SystemKind::kDrrs:
+      return std::make_unique<scaling::DrrsStrategy>(
+          graph, scaling::FullDrrsOptions(), "drrs");
+    case SystemKind::kDrrsDR:
+      return std::make_unique<scaling::DrrsStrategy>(
+          graph, scaling::DrOnlyOptions(), "drrs-dr");
+    case SystemKind::kDrrsSchedule:
+      return std::make_unique<scaling::DrrsStrategy>(
+          graph, scaling::ScheduleOnlyOptions(), "drrs-schedule");
+    case SystemKind::kDrrsSubscale:
+      return std::make_unique<scaling::DrrsStrategy>(
+          graph, scaling::SubscaleOnlyOptions(), "drrs-subscale");
+    case SystemKind::kMegaphone:
+      return std::make_unique<scaling::DrrsStrategy>(
+          graph, scaling::MegaphoneOptions(), "megaphone");
+    case SystemKind::kMeces:
+      return std::make_unique<scaling::MecesStrategy>(graph);
+    case SystemKind::kOtfsFluid:
+      return std::make_unique<scaling::OtfsStrategy>(
+          graph, scaling::OtfsStrategy::MigrationMode::kFluid);
+    case SystemKind::kOtfsAllAtOnce:
+      return std::make_unique<scaling::OtfsStrategy>(
+          graph, scaling::OtfsStrategy::MigrationMode::kAllAtOnce);
+    case SystemKind::kUnbound:
+      return std::make_unique<scaling::UnboundStrategy>(graph);
+    case SystemKind::kStopRestart:
+      return std::make_unique<scaling::StopRestartStrategy>(graph);
+  }
+  return nullptr;
+}
+
+ExperimentResult RunExperiment(const workloads::WorkloadSpec& workload,
+                               const ExperimentConfig& config) {
+  sim::Simulator sim;
+  auto hub = std::make_unique<metrics::MetricsHub>();
+  runtime::ExecutionGraph graph(&sim, workload.graph, config.engine,
+                                hub.get());
+  Status st = graph.Build();
+  DRRS_CHECK(st.ok()) << st.ToString();
+
+  std::unique_ptr<scaling::ScalingStrategy> strategy =
+      MakeStrategy(config.system, &graph);
+
+  dataflow::OperatorId op = workload.scaled_op;
+  if (strategy != nullptr) {
+    sim.ScheduleAt(config.scale_at, [&graph, &strategy, op, &config]() {
+      scaling::ScalePlan plan =
+          scaling::PlanRescale(&graph, op, config.target_parallelism);
+      Status s = strategy->StartScale(plan);
+      if (!s.ok()) {
+        DRRS_LOG(Error) << "StartScale failed: " << s.ToString();
+      }
+    });
+  }
+
+  graph.Start();
+  sim::SimTime horizon = config.horizon;
+  if (horizon <= 0) horizon = sim::kSimTimeMax;  // run to completion
+  sim.RunUntil(horizon);
+
+  ExperimentResult result;
+  result.system = strategy ? strategy->name() : SystemName(config.system);
+  result.workload = workload.name;
+  result.scale_at = config.scale_at;
+
+  const metrics::TimeSeries& latency = hub->latency_ms();
+  sim::SimTime baseline_from =
+      std::max<sim::SimTime>(0, config.scale_at - sim::Seconds(60));
+  result.baseline_latency_ms =
+      latency.MeanIn(baseline_from, config.scale_at - 1);
+
+  if (strategy != nullptr) {
+    sim::SimTime restab = metrics::DetectRestabilization(
+        latency, config.scale_at,
+        result.baseline_latency_ms * config.restab_tolerance +
+            config.restab_slack_ms,
+        config.restab_hold);
+    result.scaling_period = restab - config.scale_at;
+    const metrics::ScalingMetrics& sm = hub->scaling();
+    if (sm.scale_end() >= 0 && sm.scale_start() >= 0) {
+      result.mechanism_duration = sm.scale_end() - sm.scale_start();
+    }
+    result.cumulative_propagation = sm.CumulativePropagationDelay();
+    result.avg_dependency_us = sm.AverageDependencyOverheadUs();
+    result.cumulative_suspension = sm.CumulativeSuspension();
+    result.transfers = sm.UnitTransferStats();
+    // Statistics over the scaling period; when the run never destabilized
+    // (period 0) fall back to the hold window so peak/avg stay meaningful.
+    sim::SimTime stats_window =
+        std::max(result.scaling_period, config.restab_hold);
+    result.peak_latency_ms =
+        latency.MaxIn(config.scale_at, config.scale_at + stats_window);
+    result.avg_latency_ms =
+        latency.MeanIn(config.scale_at, config.scale_at + stats_window);
+  } else {
+    result.peak_latency_ms = latency.MaxIn(config.scale_at, sim::kSimTimeMax);
+    result.avg_latency_ms = latency.MeanIn(config.scale_at, sim::kSimTimeMax);
+  }
+  result.invariants = hub->invariants();
+  result.source_records = hub->source_rate().total();
+  result.sink_records = hub->sink_rate().total();
+  result.executed_events = sim.executed_events();
+  result.hub = std::move(hub);
+  return result;
+}
+
+void PrintSeries(const std::string& label, const metrics::TimeSeries& series,
+                 sim::SimTime bucket, bool use_max) {
+  std::printf("# series: %s (t_seconds value)\n", label.c_str());
+  for (const metrics::Sample& s : series.Bucketed(bucket, use_max)) {
+    std::printf("%8.1f  %12.2f\n", sim::ToSeconds(s.time), s.value);
+  }
+}
+
+void PrintRateSeries(const std::string& label,
+                     const metrics::RateCounter& rc) {
+  PrintSeries(label, rc.ToRateSeries(), rc.bucket_width());
+}
+
+}  // namespace drrs::harness

@@ -1,0 +1,177 @@
+#ifndef DRRS_METRICS_METRICS_HUB_H_
+#define DRRS_METRICS_METRICS_HUB_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "dataflow/stream_element.h"
+#include "metrics/timeseries.h"
+#include "sim/sim_time.h"
+
+namespace drrs::metrics {
+
+/// Why a task stopped pulling input. Only scaling-related reasons count
+/// towards the paper's suspension metric L_s (Fig 13); backpressure and idle
+/// time are tracked separately.
+enum class StallReason : uint8_t {
+  kAwaitingState = 0,   ///< head record's state not locally available
+  kAlignment,           ///< blocked for barrier alignment
+  kBackpressure,        ///< downstream output cache congested
+};
+
+/// \brief Records per-scaling-operation events to compute the paper's three
+/// overhead factors: propagation delay L_p, suspension L_s, dependency L_d
+/// (Section II-B and Fig 12/13).
+class ScalingMetrics {
+ public:
+  // -- signal lifecycle (one "signal" = one subscale / migration unit) --
+  void RecordSignalInjection(dataflow::SubscaleId signal, sim::SimTime t);
+  void RecordFirstMigration(dataflow::SubscaleId signal, sim::SimTime t);
+  /// Migration start (state leaves the source instance) of one key-group.
+  void RecordStateMigrated(dataflow::SubscaleId signal, dataflow::KeyGroupId kg,
+                           sim::SimTime t);
+  /// Counts a transfer of a migration unit (Meces back-and-forth tracking).
+  void RecordUnitTransfer(dataflow::KeyGroupId kg, uint32_t sub_key_group);
+
+  void RecordScaleStart(sim::SimTime t) { scale_start_ = t; }
+  void RecordScaleEnd(sim::SimTime t) { scale_end_ = t; }
+
+  // -- suspension --
+  void RecordStall(StallReason reason, sim::SimTime begin, sim::SimTime end);
+
+  // -- derived metrics --
+  /// Sum over signals of (first migration - injection). Paper Fig 12 left.
+  sim::SimTime CumulativePropagationDelay() const;
+  /// Mean over migrated states of (migration - injection). Paper Fig 12 right.
+  double AverageDependencyOverheadUs() const;
+  /// Total scaling-relevant suspension time (µs). Paper Fig 13 final value.
+  sim::SimTime CumulativeSuspension() const;
+  /// Suspension accumulation over time: (t, cumulative µs). Paper Fig 13.
+  TimeSeries SuspensionSeries() const;
+  sim::SimTime BackpressureTime() const { return backpressure_total_; }
+
+  sim::SimTime scale_start() const { return scale_start_; }
+  sim::SimTime scale_end() const { return scale_end_; }
+
+  /// Back-and-forth stats over migration units (Meces analysis, Section V-B):
+  /// returns {units_transferred, average transfers per unit, max transfers}.
+  struct TransferStats {
+    uint64_t units = 0;
+    double avg_transfers = 0;
+    uint64_t max_transfers = 0;
+    uint64_t total_transfers = 0;
+  };
+  TransferStats UnitTransferStats() const;
+
+  /// Raw per-unit transfer counts (diagnostics).
+  const std::map<std::pair<dataflow::KeyGroupId, uint32_t>, uint64_t>&
+  unit_transfers() const {
+    return unit_transfers_;
+  }
+
+ private:
+  struct SignalTimes {
+    sim::SimTime injection = -1;
+    sim::SimTime first_migration = -1;
+  };
+  std::map<dataflow::SubscaleId, SignalTimes> signals_;
+  std::vector<sim::SimTime> dependency_deltas_;
+  struct Stall {
+    StallReason reason;
+    sim::SimTime begin;
+    sim::SimTime end;
+  };
+  std::vector<Stall> stalls_;
+  sim::SimTime backpressure_total_ = 0;
+  std::map<std::pair<dataflow::KeyGroupId, uint32_t>, uint64_t> unit_transfers_;
+  sim::SimTime scale_start_ = -1;
+  sim::SimTime scale_end_ = -1;
+};
+
+/// \brief Order/exactly-once invariant violations observed by tasks.
+///
+/// Unbound (the correctness-free design probe, Section II-B) is *expected* to
+/// accumulate violations; every real strategy must keep all counters at zero
+/// — that is asserted by the property tests.
+class InvariantMonitor {
+ public:
+  uint64_t order_violations = 0;       ///< per-(sender,key) seq inversions
+  uint64_t state_miss_processing = 0;  ///< record processed w/o local state
+  uint64_t duplicate_processing = 0;   ///< same record processed twice
+
+  bool Clean() const {
+    return order_violations == 0 && state_miss_processing == 0 &&
+           duplicate_processing == 0;
+  }
+
+  /// Verify the per-(consumer op, sender instance, key) sequence number is
+  /// strictly increasing; bumps the violation counters otherwise.
+  void CheckOrder(dataflow::OperatorId op, dataflow::InstanceId sender,
+                  dataflow::KeyT key, uint64_t seq);
+
+ private:
+  struct SeqKey {
+    dataflow::OperatorId op;
+    dataflow::InstanceId sender;
+    dataflow::KeyT key;
+    bool operator==(const SeqKey& o) const {
+      return op == o.op && sender == o.sender && key == o.key;
+    }
+  };
+  struct SeqKeyHash {
+    size_t operator()(const SeqKey& k) const;
+  };
+  std::unordered_map<SeqKey, uint64_t, SeqKeyHash> last_seq_;
+};
+
+/// \brief Central sink for all measurements of one simulated run.
+class MetricsHub {
+ public:
+  explicit MetricsHub(sim::SimTime throughput_bucket = sim::Seconds(1))
+      : source_rate_(throughput_bucket), sink_rate_(throughput_bucket) {}
+
+  // -- latency (end-to-end markers, Section V-A) --
+  void RecordMarkerLatency(sim::SimTime sink_time, sim::SimTime created) {
+    latency_.Push(sink_time, sim::ToMillis(sink_time - created));
+  }
+  const TimeSeries& latency_ms() const { return latency_; }
+
+  // -- throughput (source output rate, Section V-A) --
+  void RecordSourceEmit(sim::SimTime t, uint64_t n = 1) {
+    source_rate_.Add(t, n);
+  }
+  void RecordSinkArrival(sim::SimTime t, uint64_t n = 1) {
+    sink_rate_.Add(t, n);
+  }
+  const RateCounter& source_rate() const { return source_rate_; }
+  const RateCounter& sink_rate() const { return sink_rate_; }
+
+  ScalingMetrics& scaling() { return scaling_; }
+  const ScalingMetrics& scaling() const { return scaling_; }
+  InvariantMonitor& invariants() { return invariants_; }
+  const InvariantMonitor& invariants() const { return invariants_; }
+
+ private:
+  TimeSeries latency_;
+  RateCounter source_rate_;
+  RateCounter sink_rate_;
+  ScalingMetrics scaling_;
+  InvariantMonitor invariants_;
+};
+
+/// Detects the end of the scaling period per the paper's rule: the first
+/// time after `scale_start` at which latency stays below `threshold_ms`
+/// (typically 110% of the pre-scaling level, plus a small absolute slack to
+/// absorb measurement noise) for `hold` time (the paper uses 100 s).
+/// Returns scale_start when the series never destabilized, or the last
+/// sample time when it never restabilizes.
+sim::SimTime DetectRestabilization(const TimeSeries& latency_ms,
+                                   sim::SimTime scale_start,
+                                   double threshold_ms, sim::SimTime hold);
+
+}  // namespace drrs::metrics
+
+#endif  // DRRS_METRICS_METRICS_HUB_H_

@@ -1,0 +1,87 @@
+#include "metrics/timeseries.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace drrs::metrics {
+
+double TimeSeries::MaxIn(sim::SimTime begin, sim::SimTime end) const {
+  double best = 0;
+  for (const Sample& s : samples_) {
+    if (s.time < begin || s.time > end) continue;
+    best = std::max(best, s.value);
+  }
+  return best;
+}
+
+double TimeSeries::MeanIn(sim::SimTime begin, sim::SimTime end) const {
+  double sum = 0;
+  uint64_t n = 0;
+  for (const Sample& s : samples_) {
+    if (s.time < begin || s.time > end) continue;
+    sum += s.value;
+    ++n;
+  }
+  return n == 0 ? 0 : sum / static_cast<double>(n);
+}
+
+double TimeSeries::QuantileIn(double q, sim::SimTime begin,
+                              sim::SimTime end) const {
+  std::vector<double> vals;
+  for (const Sample& s : samples_) {
+    if (s.time < begin || s.time > end) continue;
+    vals.push_back(s.value);
+  }
+  if (vals.empty()) return 0;
+  std::sort(vals.begin(), vals.end());
+  double idx = q * static_cast<double>(vals.size() - 1);
+  size_t lo = static_cast<size_t>(idx);
+  size_t hi = std::min(lo + 1, vals.size() - 1);
+  double frac = idx - static_cast<double>(lo);
+  return vals[lo] * (1 - frac) + vals[hi] * frac;
+}
+
+std::vector<Sample> TimeSeries::Bucketed(sim::SimTime bucket,
+                                         bool use_max) const {
+  std::vector<Sample> out;
+  if (samples_.empty() || bucket <= 0) return out;
+  size_t i = 0;
+  while (i < samples_.size()) {
+    sim::SimTime start = samples_[i].time / bucket * bucket;
+    double agg = samples_[i].value;
+    uint64_t n = 1;
+    size_t j = i + 1;
+    while (j < samples_.size() && samples_[j].time < start + bucket) {
+      if (use_max) {
+        agg = std::max(agg, samples_[j].value);
+      } else {
+        agg += samples_[j].value;
+      }
+      ++n;
+      ++j;
+    }
+    out.push_back({start, use_max ? agg : agg / static_cast<double>(n)});
+    i = j;
+  }
+  return out;
+}
+
+void RateCounter::Add(sim::SimTime t, uint64_t n) {
+  if (t < 0) t = 0;
+  size_t idx = static_cast<size_t>(t / width_);
+  if (buckets_.size() <= idx) buckets_.resize(idx + 1, 0);
+  buckets_[idx] += n;
+  total_ += n;
+}
+
+TimeSeries RateCounter::ToRateSeries() const {
+  TimeSeries out;
+  double per_second = 1e6 / static_cast<double>(width_);
+  for (size_t i = 0; i < buckets_.size(); ++i) {
+    out.Push(static_cast<sim::SimTime>(i) * width_,
+             static_cast<double>(buckets_[i]) * per_second);
+  }
+  return out;
+}
+
+}  // namespace drrs::metrics

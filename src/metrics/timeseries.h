@@ -1,0 +1,64 @@
+#ifndef DRRS_METRICS_TIMESERIES_H_
+#define DRRS_METRICS_TIMESERIES_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/sim_time.h"
+
+namespace drrs::metrics {
+
+/// One (time, value) observation.
+struct Sample {
+  sim::SimTime time = 0;
+  double value = 0;
+};
+
+/// \brief Append-only series of timestamped observations with simple
+/// aggregation helpers. Times must be pushed in non-decreasing order.
+class TimeSeries {
+ public:
+  void Push(sim::SimTime t, double v) { samples_.push_back({t, v}); }
+
+  const std::vector<Sample>& samples() const { return samples_; }
+  bool empty() const { return samples_.empty(); }
+  size_t size() const { return samples_.size(); }
+
+  /// Max/mean over samples with time in [begin, end].
+  double MaxIn(sim::SimTime begin, sim::SimTime end) const;
+  double MeanIn(sim::SimTime begin, sim::SimTime end) const;
+  /// p-quantile (0..1) over samples in [begin, end]; 0 when empty.
+  double QuantileIn(double q, sim::SimTime begin, sim::SimTime end) const;
+
+  /// Reduce to fixed-width buckets; each bucket's value is the mean (or max)
+  /// of contained samples. Buckets with no samples are skipped.
+  std::vector<Sample> Bucketed(sim::SimTime bucket, bool use_max = false) const;
+
+ private:
+  std::vector<Sample> samples_;
+};
+
+/// \brief Counts events into fixed-width buckets, yielding a rate series
+/// (events per second). Used for throughput measurement.
+class RateCounter {
+ public:
+  explicit RateCounter(sim::SimTime bucket_width) : width_(bucket_width) {}
+
+  void Add(sim::SimTime t, uint64_t n = 1);
+
+  /// Series of (bucket_start, events_per_second).
+  TimeSeries ToRateSeries() const;
+
+  uint64_t total() const { return total_; }
+  sim::SimTime bucket_width() const { return width_; }
+
+ private:
+  sim::SimTime width_;
+  std::vector<uint64_t> buckets_;
+  uint64_t total_ = 0;
+};
+
+}  // namespace drrs::metrics
+
+#endif  // DRRS_METRICS_TIMESERIES_H_

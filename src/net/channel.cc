@@ -1,0 +1,149 @@
+#include "net/channel.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/logging.h"
+
+namespace drrs::net {
+
+using dataflow::StreamElement;
+
+Channel::Channel(sim::Simulator* sim, const NetworkConfig& config,
+                 dataflow::InstanceId sender, dataflow::InstanceId receiver,
+                 ChannelReceiver* receiver_task)
+    : sim_(sim),
+      config_(config),
+      sender_id_(sender),
+      receiver_id_(receiver),
+      receiver_task_(receiver_task) {
+  DRRS_CHECK(receiver_task_ != nullptr);
+  DRRS_CHECK(config_.bandwidth_bytes_per_us > 0);
+}
+
+void Channel::Push(StreamElement element) {
+  output_queue_.push_back(std::move(element));
+  if (congested()) congestion_latched_ = true;
+  TryTransmit();
+}
+
+void Channel::PushPriority(StreamElement element) {
+  output_queue_.push_front(std::move(element));
+  if (congested()) congestion_latched_ = true;
+  TryTransmit();
+}
+
+void Channel::PushBypass(StreamElement element) {
+  // Control messages on the bypass path are tiny; model pure propagation.
+  sim_->ScheduleAfter(config_.base_latency,
+                      [this, element = std::move(element)]() {
+                        receiver_task_->OnControlBypass(this, element);
+                      });
+}
+
+std::vector<StreamElement> Channel::ExtractFromOutput(
+    const std::function<bool(const StreamElement&)>& pred) {
+  std::vector<StreamElement> extracted;
+  std::deque<StreamElement> kept;
+  for (StreamElement& e : output_queue_) {
+    if (pred(e)) {
+      extracted.push_back(std::move(e));
+    } else {
+      kept.push_back(std::move(e));
+    }
+  }
+  output_queue_ = std::move(kept);
+  MaybeFireDecongest();
+  return extracted;
+}
+
+std::vector<StreamElement> Channel::ExtractFromOutputBefore(
+    const std::function<bool(const StreamElement&)>& pred,
+    const std::function<bool(const StreamElement&)>& stop) {
+  std::vector<StreamElement> extracted;
+  std::deque<StreamElement> kept;
+  bool stopped = false;
+  for (StreamElement& e : output_queue_) {
+    if (!stopped && stop(e)) stopped = true;
+    if (!stopped && pred(e)) {
+      extracted.push_back(std::move(e));
+    } else {
+      kept.push_back(std::move(e));
+    }
+  }
+  output_queue_ = std::move(kept);
+  MaybeFireDecongest();
+  return extracted;
+}
+
+bool Channel::InsertAfterFirst(
+    const std::function<bool(const StreamElement&)>& match,
+    StreamElement element) {
+  for (auto it = output_queue_.begin(); it != output_queue_.end(); ++it) {
+    if (match(*it)) {
+      output_queue_.insert(it + 1, std::move(element));
+      return true;
+    }
+  }
+  return false;
+}
+
+bool Channel::OutputContains(
+    const std::function<bool(const StreamElement&)>& pred) const {
+  for (const StreamElement& e : output_queue_) {
+    if (pred(e)) return true;
+  }
+  return false;
+}
+
+StreamElement Channel::PopInput() {
+  DRRS_CHECK(!input_queue_.empty());
+  StreamElement e = std::move(input_queue_.front());
+  input_queue_.pop_front();
+  NotifyInputConsumed();
+  return e;
+}
+
+void Channel::NotifyInputConsumed() {
+  // Credit released: the wire may admit the next buffered element.
+  TryTransmit();
+}
+
+void Channel::TryTransmit() {
+  bool sent = false;
+  while (!output_queue_.empty() &&
+         in_flight_ + input_queue_.size() < config_.input_buffer_capacity) {
+    StreamElement e = std::move(output_queue_.front());
+    output_queue_.pop_front();
+    sent = true;
+    sim::SimTime depart = std::max(sim_->now(), link_free_at_);
+    auto transfer = static_cast<sim::SimTime>(
+        static_cast<double>(e.WireBytes()) / config_.bandwidth_bytes_per_us);
+    link_free_at_ = depart + transfer;
+    sim::SimTime arrival = link_free_at_ + config_.base_latency;
+    ++in_flight_;
+    sim_->ScheduleAt(arrival, [this, e = std::move(e)]() mutable {
+      Deliver(std::move(e));
+    });
+  }
+  if (sent) MaybeFireDecongest();
+}
+
+void Channel::Deliver(StreamElement element) {
+  DRRS_CHECK(in_flight_ > 0);
+  --in_flight_;
+  ++delivered_elements_;
+  delivered_bytes_ += element.WireBytes();
+  input_queue_.push_back(std::move(element));
+  receiver_task_->OnElementAvailable(this);
+  // Note: we do not TryTransmit() here; credit was consumed, not released.
+}
+
+void Channel::MaybeFireDecongest() {
+  if (!congestion_latched_) return;
+  if (output_queue_.size() >= config_.output_buffer_capacity / 2) return;
+  congestion_latched_ = false;
+  for (auto& cb : decongest_listeners_) cb();
+}
+
+}  // namespace drrs::net

@@ -1,0 +1,185 @@
+#ifndef DRRS_NET_CHANNEL_H_
+#define DRRS_NET_CHANNEL_H_
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <vector>
+
+#include "dataflow/stream_element.h"
+#include "sim/sim_time.h"
+#include "sim/simulator.h"
+
+namespace drrs::net {
+
+/// Link parameters for one point-to-point channel. Defaults model the
+/// paper's Gigabit-Ethernet testbed (1 Gbps ~ 125 bytes/us, sub-millisecond
+/// propagation).
+struct NetworkConfig {
+  sim::SimTime base_latency = sim::Micros(500);
+  double bandwidth_bytes_per_us = 125.0;
+  /// Credit window: max elements in (in-flight + receiver input queue).
+  size_t input_buffer_capacity = 64;
+  /// Sender-side cache size; at/above this the channel reports congestion
+  /// and the sending task applies backpressure.
+  size_t output_buffer_capacity = 256;
+};
+
+class Channel;
+
+/// Receiver-side callbacks, implemented by runtime::Task.
+class ChannelReceiver {
+ public:
+  virtual ~ChannelReceiver() = default;
+
+  /// A new element was appended to the channel's input queue.
+  virtual void OnElementAvailable(Channel* channel) = 0;
+
+  /// A bypass (priority) control message arrived, skipping both caches —
+  /// the delivery path of DRRS trigger barriers (paper Section III-A).
+  virtual void OnControlBypass(Channel* channel,
+                               const dataflow::StreamElement& element) = 0;
+};
+
+/// \brief Simulated point-to-point stream between two task instances.
+///
+/// Structure mirrors the paper's model of a Flink connection:
+///
+///   sender ->[output cache]->(in-flight: latency+bandwidth)->[input cache]-> receiver
+///
+/// * FIFO order is preserved end to end for normally pushed elements.
+/// * `PushPriority` inserts at the *front* of the output cache (confirm
+///   barriers: "treated as a priority message only in the output cache").
+/// * `PushBypass` skips both caches entirely (trigger barriers: "bypasses all
+///   in-flight data").
+/// * Transmission is credit-gated by the receiver's input-cache capacity;
+///   a full output cache raises `congested()` which the sending task treats
+///   as backpressure.
+class Channel {
+ public:
+  Channel(sim::Simulator* sim, const NetworkConfig& config,
+          dataflow::InstanceId sender, dataflow::InstanceId receiver,
+          ChannelReceiver* receiver_task);
+
+  Channel(const Channel&) = delete;
+  Channel& operator=(const Channel&) = delete;
+
+  dataflow::InstanceId sender_id() const { return sender_id_; }
+  dataflow::InstanceId receiver_id() const { return receiver_id_; }
+
+  /// Marks this channel as a migration/re-route path between two instances
+  /// of the *same* operator. Such channels are excluded from the receiver's
+  /// watermark aggregation (they carry side watermarks instead) and their
+  /// data elements are treated as eagerly consumable re-routed events.
+  void set_scaling_path(bool v) { scaling_path_ = v; }
+  bool scaling_path() const { return scaling_path_; }
+
+  // ---- sender side ----
+
+  /// Append to the output cache (normal data path).
+  void Push(dataflow::StreamElement element);
+
+  /// Insert at the front of the output cache, ahead of buffered records.
+  void PushPriority(dataflow::StreamElement element);
+
+  /// Deliver directly to the receiver's control handler after the base
+  /// latency, ignoring both caches and the credit window.
+  void PushBypass(dataflow::StreamElement element);
+
+  /// True when the output cache is at/above capacity (backpressure signal).
+  bool congested() const {
+    return output_queue_.size() >= config_.output_buffer_capacity;
+  }
+
+  /// Register a persistent callback fired whenever the output cache drains
+  /// below half capacity after having been congested.
+  void AddDecongestListener(std::function<void()> cb) {
+    decongest_listeners_.push_back(std::move(cb));
+  }
+
+  /// Remove-and-return all output-cache elements matching `pred`, preserving
+  /// the relative order of both kept and extracted elements. Used by DRRS to
+  /// redirect records bypassed by a confirm barrier (Section III-A) and by
+  /// the checkpoint-interaction logic (Section IV-C).
+  std::vector<dataflow::StreamElement> ExtractFromOutput(
+      const std::function<bool(const dataflow::StreamElement&)>& pred);
+
+  /// Like ExtractFromOutput but only considers elements positioned before
+  /// the first element matching `stop`. Used when a checkpoint barrier sits
+  /// in the output cache: "redirection concludes at the barrier"
+  /// (Section IV-C, Fig 9a).
+  std::vector<dataflow::StreamElement> ExtractFromOutputBefore(
+      const std::function<bool(const dataflow::StreamElement&)>& pred,
+      const std::function<bool(const dataflow::StreamElement&)>& stop);
+
+  /// Insert `element` immediately after the first output-cache element
+  /// matching `match`; returns false (and does not insert) when none
+  /// matches. Implements the integrated checkpoint+scaling signal.
+  bool InsertAfterFirst(
+      const std::function<bool(const dataflow::StreamElement&)>& match,
+      dataflow::StreamElement element);
+
+  /// True if any output-cache element matches `pred`.
+  bool OutputContains(
+      const std::function<bool(const dataflow::StreamElement&)>& pred) const;
+
+  size_t output_queue_size() const { return output_queue_.size(); }
+  const std::deque<dataflow::StreamElement>& output_queue() const {
+    return output_queue_;
+  }
+  size_t in_flight() const { return in_flight_; }
+
+  // ---- receiver side ----
+
+  bool HasInput() const { return !input_queue_.empty(); }
+  const dataflow::StreamElement& PeekInput() const {
+    return input_queue_.front();
+  }
+  dataflow::StreamElement PopInput();
+
+  /// Mutable access for intra-channel record scheduling (removing an element
+  /// from the middle of the input cache). Caller must call
+  /// `NotifyInputConsumed()` once per removed element to release credit.
+  std::deque<dataflow::StreamElement>* mutable_input_queue() {
+    return &input_queue_;
+  }
+  const std::deque<dataflow::StreamElement>& input_queue() const {
+    return input_queue_;
+  }
+  void NotifyInputConsumed();
+
+  size_t input_queue_size() const { return input_queue_.size(); }
+
+  // ---- stats ----
+  uint64_t delivered_elements() const { return delivered_elements_; }
+  uint64_t delivered_bytes() const { return delivered_bytes_; }
+
+ private:
+  void TryTransmit();
+  void Deliver(dataflow::StreamElement element);
+  void MaybeFireDecongest();
+
+  sim::Simulator* sim_;
+  NetworkConfig config_;
+  dataflow::InstanceId sender_id_;
+  dataflow::InstanceId receiver_id_;
+  ChannelReceiver* receiver_task_;
+
+  std::deque<dataflow::StreamElement> output_queue_;
+  std::deque<dataflow::StreamElement> input_queue_;
+  size_t in_flight_ = 0;
+  sim::SimTime link_free_at_ = 0;  ///< serializer availability (FIFO wire)
+
+  std::vector<std::function<void()>> decongest_listeners_;
+
+  uint64_t delivered_elements_ = 0;
+  uint64_t delivered_bytes_ = 0;
+  bool scaling_path_ = false;
+  /// Set when the output cache hits capacity; cleared (with listeners fired)
+  /// once it drains below half capacity.
+  bool congestion_latched_ = false;
+};
+
+}  // namespace drrs::net
+
+#endif  // DRRS_NET_CHANNEL_H_

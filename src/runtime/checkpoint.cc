@@ -1,0 +1,71 @@
+#include "runtime/checkpoint.h"
+
+#include <utility>
+
+#include "common/logging.h"
+#include "runtime/execution_graph.h"
+
+namespace drrs::runtime {
+
+CheckpointCoordinator::CheckpointCoordinator(ExecutionGraph* graph)
+    : graph_(graph) {
+  graph_->set_checkpoint_coordinator(this);
+}
+
+uint64_t CheckpointCoordinator::Trigger() {
+  uint64_t id = next_id_++;
+  CheckpointData& data = checkpoints_[id];
+  data.id = id;
+  data.trigger_time = graph_->sim()->now();
+  data.expected_acks = graph_->task_count();
+  for (SourceTask* source : graph_->sources()) {
+    source->set_checkpoint_coordinator(this);
+    source->InjectCheckpointBarrier(id);
+    // Sources snapshot their (trivial) state at injection time.
+    OnSnapshot(source, id, {});
+  }
+  return id;
+}
+
+void CheckpointCoordinator::OnSnapshot(
+    Task* task, uint64_t checkpoint_id,
+    std::vector<state::KeyGroupState> snapshot) {
+  auto it = checkpoints_.find(checkpoint_id);
+  if (it == checkpoints_.end()) {
+    DRRS_LOG(Warn) << "snapshot for unknown checkpoint " << checkpoint_id;
+    return;
+  }
+  CheckpointData& data = it->second;
+  data.snapshots[task->id()] = std::move(snapshot);
+  if (data.snapshots.size() >= data.expected_acks && !data.complete()) {
+    data.complete_time = graph_->sim()->now();
+  }
+}
+
+bool CheckpointCoordinator::AnyIncomplete() const {
+  for (const auto& [id, data] : checkpoints_) {
+    if (!data.complete()) return true;
+  }
+  return false;
+}
+
+bool CheckpointCoordinator::IsComplete(uint64_t checkpoint_id) const {
+  const CheckpointData* data = Get(checkpoint_id);
+  return data != nullptr && data->complete();
+}
+
+const CheckpointData* CheckpointCoordinator::Get(
+    uint64_t checkpoint_id) const {
+  auto it = checkpoints_.find(checkpoint_id);
+  return it == checkpoints_.end() ? nullptr : &it->second;
+}
+
+const CheckpointData* CheckpointCoordinator::LatestComplete() const {
+  const CheckpointData* best = nullptr;
+  for (const auto& [id, data] : checkpoints_) {
+    if (data.complete()) best = &data;
+  }
+  return best;
+}
+
+}  // namespace drrs::runtime

@@ -1,0 +1,62 @@
+#ifndef DRRS_RUNTIME_CHECKPOINT_H_
+#define DRRS_RUNTIME_CHECKPOINT_H_
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "sim/sim_time.h"
+#include "state/keyed_state.h"
+
+namespace drrs::runtime {
+
+class ExecutionGraph;
+class Task;
+
+/// One completed (or in-flight) aligned checkpoint.
+struct CheckpointData {
+  uint64_t id = 0;
+  sim::SimTime trigger_time = 0;
+  sim::SimTime complete_time = -1;
+  size_t expected_acks = 0;
+  /// Per task instance: keyed-state snapshot (empty for stateless tasks).
+  std::map<dataflow::InstanceId, std::vector<state::KeyGroupState>> snapshots;
+
+  bool complete() const { return complete_time >= 0; }
+};
+
+/// \brief Master-side coordinator for Flink-style aligned checkpoints.
+///
+/// Triggering injects a barrier at every source; each task aligns barriers
+/// across its input channels, snapshots its keyed state, forwards the
+/// barrier, and acks here. A checkpoint completes when every task acked.
+/// The scaling strategies interact with in-flight barriers per Section IV-C.
+class CheckpointCoordinator {
+ public:
+  explicit CheckpointCoordinator(ExecutionGraph* graph);
+
+  /// Inject barriers at all sources; returns the checkpoint id.
+  uint64_t Trigger();
+
+  /// Ack + snapshot from one task (sources ack at injection).
+  void OnSnapshot(Task* task, uint64_t checkpoint_id,
+                  std::vector<state::KeyGroupState> snapshot);
+
+  bool IsComplete(uint64_t checkpoint_id) const;
+
+  /// True while any triggered checkpoint has not completed yet.
+  bool AnyIncomplete() const;
+  const CheckpointData* Get(uint64_t checkpoint_id) const;
+
+  /// Latest fully completed checkpoint (null if none).
+  const CheckpointData* LatestComplete() const;
+
+ private:
+  ExecutionGraph* graph_;
+  uint64_t next_id_ = 1;
+  std::map<uint64_t, CheckpointData> checkpoints_;
+};
+
+}  // namespace drrs::runtime
+
+#endif  // DRRS_RUNTIME_CHECKPOINT_H_

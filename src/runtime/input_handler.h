@@ -1,0 +1,54 @@
+#ifndef DRRS_RUNTIME_INPUT_HANDLER_H_
+#define DRRS_RUNTIME_INPUT_HANDLER_H_
+
+#include <deque>
+#include <memory>
+
+#include "dataflow/stream_element.h"
+#include "metrics/metrics_hub.h"
+#include "net/channel.h"
+
+namespace drrs::runtime {
+
+class Task;
+
+/// \brief Chooses the next input element a task executes.
+///
+/// The default handler reproduces Flink's behaviour: channels are served in
+/// data-availability order and the *active* channel's head is next — if that
+/// head cannot be processed (its state is migrating), the task suspends even
+/// if other channels hold processable records. DRRS's Record Scheduling
+/// replaces this with inter-/intra-channel scheduling (Section III-B).
+class InputHandler {
+ public:
+  struct Selection {
+    bool has_element = false;
+    /// True when input exists but none of it may be processed now (the task
+    /// must suspend and wait for a WakeUp()).
+    bool suspend = false;
+    metrics::StallReason reason = metrics::StallReason::kAwaitingState;
+    net::Channel* channel = nullptr;
+    dataflow::StreamElement element;
+  };
+
+  virtual ~InputHandler() = default;
+
+  /// Pop and return the next element to execute, honouring blocked channels
+  /// and the task hook's IsProcessable verdicts.
+  virtual Selection SelectNext(Task* task) = 0;
+};
+
+/// Flink-like availability-ordered handler (see class comment above).
+class DefaultInputHandler : public InputHandler {
+ public:
+  Selection SelectNext(Task* task) override;
+
+ private:
+  size_t cursor_ = 0;  ///< rotates only when the active channel drains
+};
+
+std::unique_ptr<InputHandler> MakeDefaultInputHandler();
+
+}  // namespace drrs::runtime
+
+#endif  // DRRS_RUNTIME_INPUT_HANDLER_H_

@@ -1,0 +1,89 @@
+#include "runtime/source_task.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/logging.h"
+#include "runtime/checkpoint.h"
+
+namespace drrs::runtime {
+
+using dataflow::StreamElement;
+
+SourceTask::SourceTask(sim::Simulator* sim, const dataflow::OperatorSpec& spec,
+                       dataflow::InstanceId id, dataflow::OperatorId op,
+                       uint32_t subtask, const dataflow::KeySpace* key_space,
+                       metrics::MetricsHub* hub, bool check_invariants,
+                       std::unique_ptr<dataflow::SourceGenerator> generator,
+                       SourceTiming timing)
+    : Task(sim, spec, id, op, subtask, key_space, hub, check_invariants),
+      generator_(std::move(generator)),
+      timing_(timing),
+      next_marker_(timing.marker_interval) {}
+
+sim::SimTime SourceTask::current_lag() const {
+  if (!has_pending_) return 0;
+  return std::max<sim::SimTime>(0, sim_->now() - pending_arrival_);
+}
+
+void SourceTask::InjectCheckpointBarrier(uint64_t checkpoint_id) {
+  BroadcastControl(dataflow::MakeCheckpointBarrier(checkpoint_id));
+}
+
+void SourceTask::RunOnce() {
+  if (frozen_) return;
+  if (AnyOutputCongested()) {
+    EnterStall(metrics::StallReason::kBackpressure);
+    return;  // decongest listener re-arms
+  }
+  ExitStall();
+  if (!has_pending_) {
+    if (exhausted_ || generator_ == nullptr ||
+        !generator_->Next(&pending_, &pending_arrival_)) {
+      exhausted_ = true;
+      return;
+    }
+    has_pending_ = true;
+  }
+  sim::SimTime now = sim_->now();
+  if (pending_arrival_ > now) {
+    if (!arrival_wakeup_scheduled_) {
+      arrival_wakeup_scheduled_ = true;
+      sim_->ScheduleAt(pending_arrival_, [this]() {
+        arrival_wakeup_scheduled_ = false;
+        MaybeSchedule();
+      });
+    }
+    return;
+  }
+
+  // A latency marker due before this record's arrival goes out first, with
+  // its creation stamped at the due time so it accrues any backlog delay.
+  if (timing_.marker_interval > 0 && next_marker_ <= pending_arrival_) {
+    StreamElement marker = dataflow::MakeLatencyMarker(next_marker_);
+    next_marker_ += timing_.marker_interval;
+    busy_until_ = now + spec_.record_cost;
+    ForwardMarker(marker);
+    MaybeSchedule();
+    return;
+  }
+
+  StreamElement e = pending_;
+  has_pending_ = false;
+  e.create_time = pending_arrival_;
+  max_event_time_ = std::max(max_event_time_, e.event_time);
+  busy_until_ = now + spec_.record_cost;
+  Emit(e);
+  ++emitted_records_;
+  hub_->RecordSourceEmit(now);
+
+  if (timing_.watermark_interval > 0 &&
+      now >= last_watermark_emit_ + timing_.watermark_interval) {
+    last_watermark_emit_ = now;
+    StreamElement w = dataflow::MakeWatermark(max_event_time_);
+    BroadcastControl(w);
+  }
+  MaybeSchedule();
+}
+
+}  // namespace drrs::runtime

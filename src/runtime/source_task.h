@@ -1,0 +1,69 @@
+#ifndef DRRS_RUNTIME_SOURCE_TASK_H_
+#define DRRS_RUNTIME_SOURCE_TASK_H_
+
+#include <memory>
+
+#include "dataflow/source_generator.h"
+#include "runtime/task.h"
+
+namespace drrs::runtime {
+
+/// Timing knobs for source emission.
+struct SourceTiming {
+  /// Watermark emission period (0 disables watermarks).
+  sim::SimTime watermark_interval = sim::Millis(200);
+  /// Latency-marker insertion period (0 disables markers).
+  sim::SimTime marker_interval = sim::Millis(250);
+};
+
+/// \brief Rate-controlled source: drains a SourceGenerator feed, subject to
+/// downstream backpressure, interleaving watermarks and latency markers.
+///
+/// Records are never emitted before their feed arrival time; when
+/// backpressured they are emitted late, with `create_time` fixed at the feed
+/// arrival — so end-to-end marker latency includes feed queueing delay
+/// exactly like the paper's Kafka-based measurement (Section V-A).
+class SourceTask : public Task {
+ public:
+  SourceTask(sim::Simulator* sim, const dataflow::OperatorSpec& spec,
+             dataflow::InstanceId id, dataflow::OperatorId op,
+             uint32_t subtask, const dataflow::KeySpace* key_space,
+             metrics::MetricsHub* hub, bool check_invariants,
+             std::unique_ptr<dataflow::SourceGenerator> generator,
+             SourceTiming timing);
+
+  /// Begin pumping the generator.
+  void Start() { MaybeSchedule(); }
+
+  /// Inject an aligned-checkpoint barrier into the output stream (called by
+  /// CheckpointCoordinator).
+  void InjectCheckpointBarrier(uint64_t checkpoint_id);
+
+  bool exhausted() const { return exhausted_; }
+  uint64_t emitted_records() const { return emitted_records_; }
+
+  /// Feed backlog proxy: how far the pending element's arrival lags now().
+  sim::SimTime current_lag() const;
+
+ protected:
+  void RunOnce() override;
+
+ private:
+  std::unique_ptr<dataflow::SourceGenerator> generator_;
+  SourceTiming timing_;
+
+  dataflow::StreamElement pending_;
+  sim::SimTime pending_arrival_ = 0;
+  bool has_pending_ = false;
+  bool exhausted_ = false;
+  bool arrival_wakeup_scheduled_ = false;
+
+  sim::SimTime next_marker_ = 0;
+  sim::SimTime last_watermark_emit_ = -1;
+  sim::SimTime max_event_time_ = 0;
+  uint64_t emitted_records_ = 0;
+};
+
+}  // namespace drrs::runtime
+
+#endif  // DRRS_RUNTIME_SOURCE_TASK_H_

@@ -1,0 +1,502 @@
+#include "runtime/task.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/logging.h"
+#include "runtime/checkpoint.h"
+
+namespace drrs::runtime {
+
+using dataflow::ElementKind;
+using dataflow::StreamElement;
+
+namespace {
+constexpr sim::SimTime kNoWatermark = -1;
+constexpr sim::SimTime kControlCost = sim::Micros(2);
+constexpr sim::SimTime kMarkerCost = sim::Micros(5);
+
+/// Re-routed data records are handled as special events: like control
+/// elements, they are eligible for eager head consumption and never gated by
+/// suspension (paper Section III-A).
+bool EagerlyConsumable(const StreamElement& e) {
+  return e.IsControl() || e.rerouted;
+}
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// DefaultInputHandler
+// ---------------------------------------------------------------------------
+
+InputHandler::Selection DefaultInputHandler::SelectNext(Task* task) {
+  Selection sel;
+  const auto& chans = task->input_channels();
+  size_t n = chans.size();
+  if (n == 0) return sel;
+  if (cursor_ >= n) cursor_ = 0;
+
+  // Pass 1: control elements (and re-routed records) at channel heads are
+  // consumed eagerly; they are never subject to data suspension.
+  for (size_t i = 0; i < n; ++i) {
+    net::Channel* ch = chans[i];
+    if (!ch->HasInput() || task->IsChannelBlocked(ch)) continue;
+    const StreamElement& head = ch->PeekInput();
+    if (!EagerlyConsumable(head)) continue;
+    if (!task->HeadProcessable(ch, head)) continue;
+    sel.has_element = true;
+    sel.channel = ch;
+    sel.element = ch->PopInput();
+    return sel;
+  }
+
+  // Pass 2: Flink-like data selection. The active channel (cursor_) is
+  // served until it drains; when its head record is unprocessable the task
+  // suspends even if other channels hold processable records — the
+  // behaviour DRRS's Record Scheduling improves on (Section III-B).
+  bool any_input = false;
+  for (size_t step = 0; step < n; ++step) {
+    size_t idx = (cursor_ + step) % n;
+    net::Channel* ch = chans[idx];
+    if (!ch->HasInput()) continue;
+    any_input = true;
+    if (task->IsChannelBlocked(ch)) continue;
+    cursor_ = idx;  // becomes (or stays) the active channel
+    const StreamElement& head = ch->PeekInput();
+    if (task->HeadProcessable(ch, head)) {
+      sel.has_element = true;
+      sel.channel = ch;
+      sel.element = ch->PopInput();
+      return sel;
+    }
+    sel.suspend = true;
+    sel.reason = metrics::StallReason::kAwaitingState;
+    return sel;
+  }
+  if (any_input) {
+    // Only blocked channels hold data: alignment stall.
+    sel.suspend = true;
+    sel.reason = metrics::StallReason::kAlignment;
+  }
+  return sel;
+}
+
+std::unique_ptr<InputHandler> MakeDefaultInputHandler() {
+  return std::make_unique<DefaultInputHandler>();
+}
+
+// ---------------------------------------------------------------------------
+// Task
+// ---------------------------------------------------------------------------
+
+Task::Task(sim::Simulator* sim, const dataflow::OperatorSpec& spec,
+           dataflow::InstanceId id, dataflow::OperatorId op, uint32_t subtask,
+           const dataflow::KeySpace* key_space, metrics::MetricsHub* hub,
+           bool check_invariants)
+    : sim_(sim),
+      spec_(spec),
+      id_(id),
+      op_(op),
+      subtask_(subtask),
+      key_space_(key_space),
+      hub_(hub),
+      check_invariants_(check_invariants),
+      input_handler_(MakeDefaultInputHandler()) {
+  if (spec_.factory) {
+    operator_ = spec_.factory();
+  }
+}
+
+Task::~Task() = default;
+
+void Task::AddInputChannel(net::Channel* channel) {
+  input_channels_.push_back(channel);
+}
+
+void Task::AddOutputEdge(OutputEdge edge) {
+  output_edges_.push_back(std::move(edge));
+}
+
+void Task::InitState(uint32_t num_key_groups) {
+  state_ = std::make_unique<state::KeyedStateBackend>(num_key_groups);
+  if (operator_) operator_->Open(this);
+}
+
+void Task::InstallInputHandler(std::unique_ptr<InputHandler> handler) {
+  input_handler_ = std::move(handler);
+  suspend_memo_ = false;
+  MaybeSchedule();
+}
+
+void Task::ResetInputHandler() {
+  input_handler_ = MakeDefaultInputHandler();
+  suspend_memo_ = false;
+  MaybeSchedule();
+}
+
+void Task::BlockChannel(net::Channel* channel) {
+  blocked_channels_.insert(channel);
+}
+
+void Task::UnblockChannel(net::Channel* channel) {
+  blocked_channels_.erase(channel);
+  suspend_memo_ = false;
+  MaybeSchedule();
+}
+
+bool Task::HeadProcessable(net::Channel* channel, const StreamElement& head) {
+  if (hook_) return hook_->IsProcessable(this, channel, head);
+  return true;
+}
+
+void Task::Freeze() {
+  frozen_ = true;
+  ExitStall();
+}
+
+void Task::Unfreeze() {
+  frozen_ = false;
+  MaybeSchedule();
+}
+
+sim::SimTime Task::now() const { return sim_->now(); }
+
+void Task::OnElementAvailable(net::Channel* channel) {
+  if (suspend_memo_) {
+    // A previous pass found nothing processable. The freshly delivered tail
+    // element can only change that if it became a channel head, or if it
+    // sits within the lookahead window and is itself processable.
+    const auto& queue = channel->input_queue();
+    const StreamElement& fresh = queue.back();
+    bool relevant = queue.size() == 1 ||
+                    (queue.size() <= 200 && !EagerlyConsumable(fresh) &&
+                     HeadProcessable(channel, fresh));
+    if (!relevant) return;
+    suspend_memo_ = false;
+  }
+  MaybeSchedule();
+}
+
+void Task::OnControlBypass(net::Channel* channel,
+                           const StreamElement& element) {
+  if (hook_) {
+    hook_->OnBypass(this, channel, element);
+    return;
+  }
+  DRRS_LOG(Warn) << "task " << id_ << ": bypass element without hook: "
+                 << element.ToString();
+}
+
+void Task::ConsumeProcessingTime(sim::SimTime d) {
+  if (d <= 0) return;
+  busy_until_ = std::max(busy_until_, sim_->now()) + d;
+  busy_time_ += d;
+}
+
+void Task::MaybeSchedule() {
+  if (run_scheduled_ || frozen_) return;
+  run_scheduled_ = true;
+  sim::SimTime at = std::max(sim_->now(), busy_until_);
+  sim_->ScheduleAt(at, [this]() {
+    run_scheduled_ = false;
+    RunOnce();
+  });
+}
+
+bool Task::AnyOutputCongested() {
+  bool congested = false;
+  for (OutputEdge& edge : output_edges_) {
+    for (net::Channel* ch : edge.channels) {
+      if (ch->congested()) {
+        congested = true;
+        break;
+      }
+    }
+    if (congested) break;
+  }
+  if (congested) {
+    for (OutputEdge& edge : output_edges_) {
+      for (net::Channel* ch : edge.channels) {
+        if (decongest_listened_.insert(ch).second) {
+          ch->AddDecongestListener([this]() { MaybeSchedule(); });
+        }
+      }
+    }
+  }
+  return congested;
+}
+
+void Task::EnterStall(metrics::StallReason reason) {
+  if (stalled_ && stall_reason_ == reason) return;
+  ExitStall();
+  stalled_ = true;
+  stall_reason_ = reason;
+  stall_since_ = sim_->now();
+}
+
+void Task::ExitStall() {
+  if (!stalled_) return;
+  stalled_ = false;
+  hub_->scaling().RecordStall(stall_reason_, stall_since_, sim_->now());
+}
+
+void Task::RunOnce() {
+  if (frozen_) return;
+  if (AnyOutputCongested()) {
+    EnterStall(metrics::StallReason::kBackpressure);
+    return;  // decongest listener re-arms us
+  }
+  InputHandler::Selection sel = input_handler_->SelectNext(this);
+  if (!sel.has_element) {
+    if (sel.suspend) {
+      EnterStall(sel.reason);
+      suspend_memo_ = true;
+    } else {
+      ExitStall();  // idle, not suspended
+    }
+    return;  // OnElementAvailable / WakeUp re-arms us
+  }
+  ExitStall();
+  suspend_memo_ = false;
+  Dispatch(sel.channel, std::move(sel.element));
+  MaybeSchedule();
+}
+
+void Task::Dispatch(net::Channel* channel, StreamElement element) {
+  switch (element.kind) {
+    case ElementKind::kRecord:
+      ProcessDataRecord(channel, element);
+      return;
+    case ElementKind::kLatencyMarker:
+      busy_until_ = sim_->now() + kMarkerCost;
+      if (spec_.is_sink) {
+        hub_->RecordMarkerLatency(sim_->now(), element.create_time);
+      } else {
+        ForwardMarker(element);
+      }
+      return;
+    case ElementKind::kWatermark:
+      busy_until_ = sim_->now() + kControlCost;
+      HandleWatermark(channel, element.event_time);
+      return;
+    case ElementKind::kCheckpointBarrier:
+      busy_until_ = sim_->now() + kControlCost;
+      if (hook_ && hook_->OnCheckpointBarrier(this, channel, element)) return;
+      OnCheckpointBarrierDefault(channel, element);
+      return;
+    default:
+      busy_until_ = sim_->now() + kControlCost;
+      if (hook_ && hook_->OnControl(this, channel, element)) return;
+      DRRS_LOG(Warn) << "task " << id_ << ": unhandled control element "
+                     << element.ToString();
+      return;
+  }
+}
+
+void Task::ProcessDataRecord(net::Channel* channel, StreamElement& element) {
+  if (hook_ && hook_->InterceptRecord(this, channel, element)) {
+    busy_until_ = sim_->now() + kControlCost;
+    return;
+  }
+  CheckRecordInvariants(element);
+  busy_until_ = sim_->now() + spec_.record_cost;
+  busy_time_ += spec_.record_cost;
+  ++processed_records_;
+  if (spec_.is_sink) {
+    hub_->RecordSinkArrival(sim_->now());
+    if (sink_collector_) sink_collector_->OnRecord(sim_->now(), element);
+    return;
+  }
+  DRRS_CHECK(operator_ != nullptr);
+  operator_->ProcessRecord(element, this);
+}
+
+void Task::ProcessRecordDirect(const StreamElement& record) {
+  StreamElement copy = record;
+  CheckRecordInvariants(copy);
+  busy_until_ = std::max(busy_until_, sim_->now()) + spec_.record_cost;
+  busy_time_ += spec_.record_cost;
+  ++processed_records_;
+  if (spec_.is_sink) {
+    hub_->RecordSinkArrival(sim_->now());
+    if (sink_collector_) sink_collector_->OnRecord(sim_->now(), copy);
+    return;
+  }
+  DRRS_CHECK(operator_ != nullptr);
+  operator_->ProcessRecord(copy, this);
+}
+
+void Task::CheckRecordInvariants(const StreamElement& record) {
+  if (!check_invariants_) return;
+  auto& inv = hub_->invariants();
+  if (record.seq > 0) {
+    inv.CheckOrder(op_, record.from_instance, record.key, record.seq);
+  }
+  if (spec_.is_stateful && state_ != nullptr) {
+    dataflow::KeyGroupId kg = key_space_->KeyGroupOf(record.key);
+    if (!state_->OwnsKeyGroup(kg) &&
+        !(hook_ && hook_->AllowsMissingState())) {
+      ++inv.state_miss_processing;
+    }
+  }
+}
+
+void Task::HandleWatermark(net::Channel* channel, sim::SimTime wm) {
+  if (channel == nullptr) return;
+  if (channel->scaling_path()) {
+    MergeSideWatermark(channel->sender_id(), wm);
+    return;
+  }
+  auto it = channel_watermarks_.find(channel);
+  if (it == channel_watermarks_.end()) {
+    channel_watermarks_.emplace(channel, wm);
+  } else {
+    if (wm <= it->second) return;
+    it->second = wm;
+  }
+  RecomputeWatermark();
+}
+
+void Task::MergeSideWatermark(dataflow::InstanceId from, sim::SimTime wm) {
+  sim::SimTime& cur = side_watermarks_[from];
+  cur = std::max(cur, wm);
+  RecomputeWatermark();
+}
+
+void Task::RecomputeWatermark() {
+  // All regular input channels must have reported before the operator
+  // watermark exists (new channels start at "no watermark").
+  size_t regular = 0;
+  for (net::Channel* ch : input_channels_) {
+    if (!ch->scaling_path()) ++regular;
+  }
+  if (channel_watermarks_.size() < regular) return;
+  sim::SimTime wm = sim::kSimTimeMax;
+  for (const auto& [ch, v] : channel_watermarks_) wm = std::min(wm, v);
+  // Side watermarks (from instances still migrating state to us) hold the
+  // operator watermark back until their scaling path completes.
+  for (const auto& [from, v] : side_watermarks_) wm = std::min(wm, v);
+  if (wm == sim::kSimTimeMax || wm <= operator_watermark_) return;
+  operator_watermark_ = wm;
+  if (operator_) operator_->ProcessWatermark(wm, this);
+  if (hook_) hook_->OnWatermarkAdvance(this, wm);
+  if (!spec_.is_sink) {
+    StreamElement w = dataflow::MakeWatermark(wm);
+    w.from_instance = id_;
+    BroadcastControl(w);
+  }
+}
+
+void Task::ClearSideWatermark(dataflow::InstanceId from) {
+  side_watermarks_.erase(from);
+  RecomputeWatermark();
+}
+
+void Task::ForwardMarker(const StreamElement& marker) {
+  for (OutputEdge& edge : output_edges_) {
+    if (edge.channels.empty()) continue;
+    uint32_t target = edge.rr_cursor++ % edge.channels.size();
+    StreamElement m = marker;
+    m.from_instance = id_;
+    edge.channels[target]->Push(std::move(m));
+  }
+}
+
+void Task::StampOutgoing(StreamElement* element) {
+  element->from_instance = id_;
+  if (check_invariants_ && element->kind == ElementKind::kRecord) {
+    element->seq = ++emit_seq_[element->key];
+  }
+}
+
+void Task::Emit(const StreamElement& record) {
+  busy_until_ = std::max(busy_until_, sim_->now()) + spec_.emit_cost;
+  for (OutputEdge& edge : output_edges_) {
+    if (edge.channels.empty()) continue;
+    StreamElement e = record;
+    e.from_instance = id_;
+    e.seq = 0;
+    uint32_t target = 0;
+    switch (edge.partitioning) {
+      case dataflow::Partitioning::kHash:
+        // Per-(sender, key) sequence numbers underpin the order invariant;
+        // they are only meaningful on keyed edges (rebalance legitimately
+        // spreads a key across consumer subtasks).
+        StampOutgoing(&e);
+        target = edge.routing.TargetOf(key_space_->KeyGroupOf(e.key));
+        break;
+      case dataflow::Partitioning::kRebalance:
+        target = edge.rr_cursor++ % edge.channels.size();
+        break;
+      case dataflow::Partitioning::kForward:
+        target = subtask_ % edge.channels.size();
+        break;
+    }
+    DRRS_CHECK(target < edge.channels.size());
+    edge.channels[target]->Push(std::move(e));
+  }
+}
+
+void Task::BroadcastControl(const StreamElement& element) {
+  for (OutputEdge& edge : output_edges_) {
+    for (net::Channel* ch : edge.channels) {
+      StreamElement e = element;
+      e.from_instance = id_;
+      ch->Push(std::move(e));
+    }
+  }
+}
+
+void Task::SendOnHashEdge(uint32_t target, StreamElement element) {
+  for (OutputEdge& edge : output_edges_) {
+    if (edge.partitioning != dataflow::Partitioning::kHash) continue;
+    DRRS_CHECK(target < edge.channels.size());
+    edge.channels[target]->Push(std::move(element));
+    return;
+  }
+  DRRS_LOG(Error) << "task " << id_ << " has no hash edge";
+}
+
+bool Task::HasQueuedCheckpointBarrier() const {
+  for (net::Channel* ch : input_channels_) {
+    for (const StreamElement& e : ch->input_queue()) {
+      if (e.kind == ElementKind::kCheckpointBarrier) return true;
+    }
+  }
+  return false;
+}
+
+void Task::OnCheckpointBarrierDefault(net::Channel* channel,
+                                      const StreamElement& barrier) {
+  if (!ckpt_active_) {
+    ckpt_active_ = true;
+    ckpt_id_ = barrier.checkpoint_id;
+    ckpt_received_.clear();
+    // Align over the regular channels present now; channels added by a
+    // scaling operation mid-alignment never carry this barrier.
+    ckpt_expected_ = 0;
+    for (net::Channel* ch : input_channels_) {
+      if (!ch->scaling_path()) ++ckpt_expected_;
+    }
+  }
+  DRRS_CHECK(ckpt_id_ == barrier.checkpoint_id);
+  ckpt_received_.insert(channel);
+  BlockChannel(channel);
+  if (ckpt_received_.size() < ckpt_expected_) return;
+  // Aligned: snapshot, forward, unblock.
+  if (state_ != nullptr) {
+    // Snapshot cost modeled at ~500 bytes/us of serialized state.
+    busy_until_ = sim_->now() + static_cast<sim::SimTime>(
+                                    state_->TotalBytes() / 500.0);
+  }
+  if (checkpoint_coordinator_ != nullptr) {
+    std::vector<state::KeyGroupState> snapshot;
+    if (state_ != nullptr) snapshot = state_->Snapshot();
+    checkpoint_coordinator_->OnSnapshot(this, ckpt_id_, std::move(snapshot));
+  }
+  if (!spec_.is_sink) BroadcastControl(barrier);
+  for (net::Channel* ch : ckpt_received_) UnblockChannel(ch);
+  ckpt_active_ = false;
+  ckpt_received_.clear();
+}
+
+}  // namespace drrs::runtime

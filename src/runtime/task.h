@@ -1,0 +1,261 @@
+#ifndef DRRS_RUNTIME_TASK_H_
+#define DRRS_RUNTIME_TASK_H_
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "dataflow/job_graph.h"
+#include "dataflow/key_space.h"
+#include "dataflow/operator.h"
+#include "dataflow/routing_table.h"
+#include "dataflow/stream_element.h"
+#include "metrics/metrics_hub.h"
+#include "net/channel.h"
+#include "runtime/input_handler.h"
+#include "runtime/task_hook.h"
+#include "sim/simulator.h"
+#include "state/keyed_state.h"
+
+namespace drrs::runtime {
+
+class CheckpointCoordinator;
+
+/// One fan-out of a task to a downstream operator.
+struct OutputEdge {
+  dataflow::OperatorId to_op = 0;
+  dataflow::Partitioning partitioning = dataflow::Partitioning::kHash;
+  /// Per-sender routing table (key-group -> downstream subtask). Scaling
+  /// mechanisms update each predecessor's copy individually (Section III-A).
+  dataflow::RoutingTable routing;
+  /// Indexed by downstream subtask. Grows when the downstream operator
+  /// scales out.
+  std::vector<net::Channel*> channels;
+  uint32_t rr_cursor = 0;  ///< round-robin state for kRebalance and markers
+};
+
+/// Observes records reaching a sink (test/benchmark instrumentation).
+class SinkCollector {
+ public:
+  virtual ~SinkCollector() = default;
+  virtual void OnRecord(sim::SimTime t,
+                        const dataflow::StreamElement& record) = 0;
+};
+
+/// \brief One operator instance (Flink subtask): pulls elements from its
+/// input channels, runs the operator, pushes outputs, and cooperates with
+/// checkpointing and scaling through pluggable handlers/hooks.
+///
+/// Everything is event-driven: the task is re-armed by channel deliveries,
+/// decongestion callbacks and explicit WakeUp()s from scaling strategies.
+class Task : public net::ChannelReceiver, public dataflow::OperatorContext {
+ public:
+  Task(sim::Simulator* sim, const dataflow::OperatorSpec& spec,
+       dataflow::InstanceId id, dataflow::OperatorId op, uint32_t subtask,
+       const dataflow::KeySpace* key_space, metrics::MetricsHub* hub,
+       bool check_invariants);
+  ~Task() override;
+
+  Task(const Task&) = delete;
+  Task& operator=(const Task&) = delete;
+
+  // ---- identity / structure ----
+  dataflow::InstanceId id() const { return id_; }
+  dataflow::OperatorId op() const { return op_; }
+  const dataflow::OperatorSpec& spec() const { return spec_; }
+  const std::vector<net::Channel*>& input_channels() const {
+    return input_channels_;
+  }
+  std::vector<OutputEdge>& output_edges() { return output_edges_; }
+  const dataflow::KeySpace* key_space() const { return key_space_; }
+  metrics::MetricsHub* hub() { return hub_; }
+  sim::Simulator* simulator() { return sim_; }
+
+  // ---- wiring (ExecutionGraph / scaling) ----
+  void AddInputChannel(net::Channel* channel);
+  void AddOutputEdge(OutputEdge edge);
+  void set_checkpoint_coordinator(CheckpointCoordinator* c) {
+    checkpoint_coordinator_ = c;
+  }
+  void set_sink_collector(SinkCollector* c) { sink_collector_ = c; }
+  void set_subtask_index(uint32_t idx) { subtask_ = idx; }
+
+  /// Create the keyed state backend (stateful operators only).
+  void InitState(uint32_t num_key_groups);
+
+  // ---- scaling extension points ----
+  void set_hook(TaskHook* hook) { hook_ = hook; }
+  TaskHook* hook() { return hook_; }
+  void InstallInputHandler(std::unique_ptr<InputHandler> handler);
+  void ResetInputHandler();
+
+  /// Block/unblock a channel for barrier alignment; blocked channels are
+  /// never selected by input handlers.
+  void BlockChannel(net::Channel* channel);
+  void UnblockChannel(net::Channel* channel);
+  bool IsChannelBlocked(net::Channel* channel) const {
+    return blocked_channels_.count(channel) > 0;
+  }
+  size_t blocked_channel_count() const { return blocked_channels_.size(); }
+
+  /// True when `head` (a data element at the head of `channel`) may be
+  /// processed now, per the installed hook.
+  bool HeadProcessable(net::Channel* channel,
+                       const dataflow::StreamElement& head);
+
+  /// Re-arm the processing loop after external conditions changed
+  /// (state arrived, alignment reached, channels unblocked, ...).
+  void WakeUp() {
+    suspend_memo_ = false;
+    MaybeSchedule();
+  }
+
+  /// Halt/resume all processing (Stop-Checkpoint-Restart uses this).
+  void Freeze();
+  void Unfreeze();
+  bool frozen() const { return frozen_; }
+
+  // ---- OperatorContext ----
+  void Emit(const dataflow::StreamElement& record) override;
+  state::KeyedStateBackend* state() override { return state_.get(); }
+  sim::SimTime now() const override;
+  sim::SimTime watermark() const override { return operator_watermark_; }
+  uint32_t subtask_index() const override { return subtask_; }
+
+  // ---- ChannelReceiver ----
+  void OnElementAvailable(net::Channel* channel) override;
+
+  /// Invalidate the suspension memo and re-arm. Strategies must call this
+  /// whenever processability may have changed (state installed, confirm
+  /// arrived, epoch switched, hooks removed).
+  void OnControlBypass(net::Channel* channel,
+                       const dataflow::StreamElement& element) override;
+
+  // ---- emission helpers used by strategies and checkpointing ----
+  /// Send a control element on every output channel of every edge.
+  void BroadcastControl(const dataflow::StreamElement& element);
+  /// Send `element` to downstream subtask `target` of the (single) hash edge.
+  void SendOnHashEdge(uint32_t target, dataflow::StreamElement element);
+  /// Stamp provenance + per-key sequence number as if emitted by this task.
+  void StampOutgoing(dataflow::StreamElement* element);
+
+  /// Run one element through the operator, bypassing input selection.
+  /// Used by strategies to execute re-routed records (Section III-A: they
+  /// are "handled as special events and are not affected by processing
+  /// suspension").
+  void ProcessRecordDirect(const dataflow::StreamElement& record);
+
+  /// Deliver a watermark value observed via a side path (scaling channels),
+  /// merged per `from` sender id.
+  void MergeSideWatermark(dataflow::InstanceId from, sim::SimTime wm);
+
+  /// Remove the side-watermark constraint from `from` (its scaling path
+  /// completed) and re-derive the operator watermark.
+  void ClearSideWatermark(dataflow::InstanceId from);
+
+  // ---- checkpointing (invoked by CheckpointCoordinator / sources) ----
+  void OnCheckpointBarrierDefault(net::Channel* channel,
+                                  const dataflow::StreamElement& barrier);
+  bool checkpoint_in_progress() const { return ckpt_active_; }
+  /// True when any input cache holds an unprocessed checkpoint barrier
+  /// (Section IV-C, Fig 9b detection).
+  bool HasQueuedCheckpointBarrier() const;
+
+  // ---- stats ----
+  uint64_t processed_records() const { return processed_records_; }
+  sim::SimTime busy_until() const { return busy_until_; }
+  bool stalled() const { return stalled_; }
+  metrics::StallReason stall_reason() const { return stall_reason_; }
+  bool run_scheduled() const { return run_scheduled_; }
+  bool suspend_memo() const { return suspend_memo_; }
+  sim::SimTime busy_time() const { return busy_time_; }
+  sim::SimTime current_watermark() const { return operator_watermark_; }
+
+  /// Charge `d` of CPU time to this task (state serialization and other
+  /// engine-side work performed on the task's thread).
+  void ConsumeProcessingTime(sim::SimTime d);
+
+  /// Arms the processing loop if work might be available.
+  void MaybeSchedule();
+
+ protected:
+  sim::Simulator* sim_;
+  dataflow::OperatorSpec spec_;
+  dataflow::InstanceId id_;
+  dataflow::OperatorId op_;
+  uint32_t subtask_;
+  const dataflow::KeySpace* key_space_;
+  metrics::MetricsHub* hub_;
+  bool check_invariants_;
+
+ protected:
+  /// One iteration of the event-driven processing loop; overridden by
+  /// SourceTask with generator-pump logic.
+  virtual void RunOnce();
+  bool AnyOutputCongested();
+  void EnterStall(metrics::StallReason reason);
+  void ExitStall();
+
+  void ForwardMarker(const dataflow::StreamElement& marker);
+
+  bool frozen_ = false;
+  sim::SimTime busy_until_ = 0;
+
+ private:
+  void Dispatch(net::Channel* channel, dataflow::StreamElement element);
+  void HandleWatermark(net::Channel* channel, sim::SimTime wm);
+  void ProcessDataRecord(net::Channel* channel,
+                         dataflow::StreamElement& element);
+  void CheckRecordInvariants(const dataflow::StreamElement& record);
+
+  std::unique_ptr<dataflow::Operator> operator_;
+  std::unique_ptr<state::KeyedStateBackend> state_;
+  std::unique_ptr<InputHandler> input_handler_;
+  TaskHook* hook_ = nullptr;
+  CheckpointCoordinator* checkpoint_coordinator_ = nullptr;
+  SinkCollector* sink_collector_ = nullptr;
+
+  std::vector<net::Channel*> input_channels_;
+  std::vector<OutputEdge> output_edges_;
+  std::unordered_set<net::Channel*> blocked_channels_;
+
+  // processing loop state
+  bool run_scheduled_ = false;
+  bool stalled_ = false;
+  /// True when the last selection pass found input but nothing processable.
+  /// While set, deliveries that provably cannot change the verdict (a data
+  /// record buried deep in an already-scanned queue) skip the rescan — this
+  /// keeps suspended instances O(1) per delivery instead of O(channels x
+  /// lookahead buffer).
+  bool suspend_memo_ = false;
+  metrics::StallReason stall_reason_ = metrics::StallReason::kAwaitingState;
+  sim::SimTime stall_since_ = 0;
+  /// Channels already carrying our decongestion wake-up; channels added by a
+  /// scale-out get theirs on the next congestion check.
+  std::unordered_set<net::Channel*> decongest_listened_;
+
+  // watermark tracking
+  std::unordered_map<net::Channel*, sim::SimTime> channel_watermarks_;
+  std::unordered_map<dataflow::InstanceId, sim::SimTime> side_watermarks_;
+  sim::SimTime operator_watermark_ = -1;
+  void RecomputeWatermark();
+
+  // checkpoint alignment state
+  bool ckpt_active_ = false;
+  uint64_t ckpt_id_ = 0;
+  size_t ckpt_expected_ = 0;  ///< regular channels when alignment began
+  std::unordered_set<net::Channel*> ckpt_received_;
+
+  // emission state
+  std::unordered_map<dataflow::KeyT, uint64_t> emit_seq_;
+
+  // stats
+  uint64_t processed_records_ = 0;
+  sim::SimTime busy_time_ = 0;
+};
+
+}  // namespace drrs::runtime
+
+#endif  // DRRS_RUNTIME_TASK_H_

@@ -1,0 +1,72 @@
+#ifndef DRRS_RUNTIME_TASK_HOOK_H_
+#define DRRS_RUNTIME_TASK_HOOK_H_
+
+#include "dataflow/stream_element.h"
+#include "net/channel.h"
+#include "sim/sim_time.h"
+
+namespace drrs::runtime {
+
+class Task;
+
+/// \brief Extension point through which scaling strategies observe and
+/// intercept a task's input processing.
+///
+/// This is the C++ analogue of the paper's Scale Input Handler (B1,
+/// Section IV-A), which "replaces Flink's native Input Handler to identify
+/// and process the records and signals essential for scaling". A vanilla
+/// task has no hook; strategies install one on the tasks they touch for the
+/// duration of a scaling operation and remove it afterwards, so non-scaling
+/// periods run the unmodified engine path.
+class TaskHook {
+ public:
+  virtual ~TaskHook() = default;
+
+  /// In-band control element (barriers, state chunks, fetch requests) popped
+  /// from `channel`. Return true when consumed.
+  virtual bool OnControl(Task* /*task*/, net::Channel* /*channel*/,
+                         const dataflow::StreamElement& /*element*/) {
+    return false;
+  }
+
+  /// Bypass-path delivery (trigger barriers).
+  virtual void OnBypass(Task* /*task*/, net::Channel* /*channel*/,
+                        const dataflow::StreamElement& /*element*/) {}
+
+  /// A data record is about to be processed. Return true when the hook
+  /// consumed it instead (e.g. re-routed it to another instance).
+  virtual bool InterceptRecord(Task* /*task*/, net::Channel* /*channel*/,
+                               dataflow::StreamElement& /*element*/) {
+    return false;
+  }
+
+  /// May the head element `element` of `channel` be handed to the operator
+  /// right now? Input handlers consult this; returning false for all
+  /// candidate elements puts the task into suspension (the paper's L_s).
+  virtual bool IsProcessable(Task* /*task*/, net::Channel* /*channel*/,
+                             const dataflow::StreamElement& /*element*/) {
+    return true;
+  }
+
+  /// When true, the engine skips the local-state ownership invariant check
+  /// for processed records (only Unbound, the correctness-free probe, uses
+  /// this).
+  virtual bool AllowsMissingState() const { return false; }
+
+  /// The task's operator-level watermark advanced. Strategies forward the
+  /// new value over active scaling paths so that instances receiving
+  /// migrated state cannot fire event-time windows ahead of re-routed
+  /// records ("duplicated to both input streams", Section III-A).
+  virtual void OnWatermarkAdvance(Task* /*task*/, sim::SimTime /*wm*/) {}
+
+  /// Checkpoint barrier arriving during scaling (Section IV-C interaction).
+  /// Return true when the hook handled it; false means default alignment.
+  virtual bool OnCheckpointBarrier(Task* /*task*/, net::Channel* /*channel*/,
+                                   const dataflow::StreamElement& /*e*/) {
+    return false;
+  }
+};
+
+}  // namespace drrs::runtime
+
+#endif  // DRRS_RUNTIME_TASK_HOOK_H_

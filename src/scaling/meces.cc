@@ -1,0 +1,377 @@
+#include "scaling/meces.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/hash.h"
+#include "common/logging.h"
+
+namespace drrs::scaling {
+
+using dataflow::ElementKind;
+using dataflow::StreamElement;
+using runtime::Task;
+
+namespace {
+uint32_t SubOf(dataflow::KeyT key, uint32_t fanout) {
+  return static_cast<uint32_t>(HashKey(key ^ 0x5BD1E995) % fanout);
+}
+}  // namespace
+
+class MecesTaskHook : public runtime::TaskHook {
+ public:
+  explicit MecesTaskHook(MecesStrategy* s) : s_(s) {}
+  bool OnControl(Task* task, net::Channel* channel,
+                 const StreamElement& e) override {
+    return s_->HandleControl(task, channel, e);
+  }
+  bool IsProcessable(Task* task, net::Channel* channel,
+                     const StreamElement& e) override {
+    return s_->HandleIsProcessable(task, channel, e);
+  }
+  void OnWatermarkAdvance(Task* task, sim::SimTime wm) override {
+    s_->HandleWatermarkAdvance(task, wm);
+  }
+  // Ownership is tracked per sub-key-group by the strategy; the engine's
+  // key-group-granular check cannot express that.
+  bool AllowsMissingState() const override { return true; }
+
+ private:
+  MecesStrategy* s_;
+};
+
+MecesStrategy::MecesStrategy(runtime::ExecutionGraph* graph, uint32_t fanout,
+                             sim::SimTime unit_cooldown)
+    : ScalingStrategy(graph),
+      fanout_(fanout),
+      unit_cooldown_(unit_cooldown),
+      hook_(std::make_unique<MecesTaskHook>(this)) {
+  DRRS_CHECK(fanout_ > 0);
+}
+
+MecesStrategy::~MecesStrategy() = default;
+
+net::Channel* MecesStrategy::RailTo(Task* from, Task* to) {
+  net::Channel* rail = graph_->GetOrCreateScalingChannel(from, to);
+  if (rails_out_[from->id()].insert(rail).second) {
+    // Newly opened path: seed the side watermark.
+    StreamElement wm = dataflow::MakeWatermark(
+        std::max<sim::SimTime>(0, from->current_watermark()));
+    wm.from_instance = from->id();
+    rail->Push(std::move(wm));
+  }
+  return rail;
+}
+
+MecesStrategy::UnitView MecesStrategy::DebugUnit(dataflow::KeyT key) const {
+  UnitView v;
+  dataflow::KeyGroupId kg = graph_->key_space().KeyGroupOf(key);
+  auto it = units_.find({kg, SubOf(key, fanout_)});
+  if (it == units_.end()) return v;
+  v.tracked = true;
+  v.location = it->second.location;
+  v.in_flight = it->second.in_flight;
+  v.fetch_pending = !it->second.waiters.empty();
+  v.cooldown_until = it->second.cooldown_until;
+  return v;
+}
+
+Status MecesStrategy::StartScale(const ScalePlan& plan) {
+  DRRS_RETURN_NOT_OK(ValidatePlan(plan));
+  if (!done_) return Status::FailedPrecondition("scaling already in progress");
+  plan_ = plan;
+  done_ = false;
+  sim::SimTime now = graph_->sim()->now();
+  hub_->scaling().RecordScaleStart(now);
+  hub_->scaling().RecordSignalInjection(0, now);
+  EnsureInstances(plan_);
+
+  units_.clear();
+  destination_.clear();
+  barriers_expected_.clear();
+  barriers_seen_.clear();
+  pump_active_.clear();
+  rails_out_.clear();
+  outstanding_fetches_ = 0;
+
+  std::set<dataflow::InstanceId> sources_of_state;
+  for (const Migration& m : plan_.migrations) {
+    Task* src = graph_->instance(plan_.op, m.from);
+    Task* dst = graph_->instance(plan_.op, m.to);
+    destination_[m.key_group] = dst->id();
+    sources_of_state.insert(src->id());
+    for (uint32_t sub = 0; sub < fanout_; ++sub) {
+      Unit unit;
+      unit.location = src->id();
+      units_[{m.key_group, sub}] = std::move(unit);
+    }
+    // Key-group-level ownership flips to the destination upfront (Meces's
+    // routing is switched once); sub-unit locality governs processing.
+    if (src->state()->OwnsKeyGroup(m.key_group)) {
+      src->state()->ReleaseKeyGroup(m.key_group);
+      dst->state()->AcquireKeyGroup(m.key_group);
+    }
+  }
+
+  hooked_.clear();
+  for (Task* t : graph_->instances_of(plan_.op)) {
+    t->set_hook(hook_.get());
+    hooked_.push_back(t);
+  }
+
+  if (plan_.migrations.empty()) {
+    MaybeFinish();
+    return Status::OK();
+  }
+
+  // Single synchronization: all predecessors update routing and emit one
+  // barrier per channel to the instances that hold migrating state.
+  std::vector<Task*> preds = graph_->PredecessorTasksOf(plan_.op);
+  for (Task* pred : preds) {
+    runtime::OutputEdge* edge = graph_->FindEdgeTo(pred, plan_.op);
+    DRRS_CHECK(edge != nullptr);
+    for (const Migration& m : plan_.migrations) {
+      edge->routing.Update(m.key_group, m.to);
+    }
+    for (dataflow::InstanceId src_id : sources_of_state) {
+      Task* src = InstanceById(src_id);
+      StreamElement barrier;
+      barrier.kind = ElementKind::kConfirmBarrier;
+      barrier.subscale_id = 0;
+      barrier.from_instance = pred->id();
+      edge->channels[src->subtask_index()]->Push(std::move(barrier));
+      ++barriers_expected_[src_id];
+    }
+  }
+
+  // Background migration pumps start once the coordinator's command reaches
+  // the worker (one network hop).
+  for (dataflow::InstanceId src_id : sources_of_state) {
+    pump_active_[src_id] = true;
+    graph_->sim()->ScheduleAfter(
+        graph_->config().net.base_latency,
+        [this, src_id]() { PumpBackground(InstanceById(src_id)); });
+  }
+  return Status::OK();
+}
+
+void MecesStrategy::IssueFetch(Task* requester, dataflow::KeyGroupId kg,
+                               uint32_t sub) {
+  auto it = units_.find({kg, sub});
+  if (it == units_.end()) return;
+  Unit& unit = it->second;
+  if (unit.location == requester->id() && !unit.in_flight) return;
+  for (dataflow::InstanceId w : unit.waiters) {
+    if (w == requester->id()) return;  // already queued
+  }
+  unit.waiters.push_back(requester->id());
+  ++outstanding_fetches_;
+  // Model the fetch request's wire latency before it can be served.
+  graph_->sim()->ScheduleAfter(graph_->config().net.base_latency,
+                               [this, kg, sub]() { TryServe(kg, sub); });
+}
+
+void MecesStrategy::TryServe(dataflow::KeyGroupId kg, uint32_t sub) {
+  auto it = units_.find({kg, sub});
+  if (it == units_.end()) return;
+  Unit& unit = it->second;
+  unit.serve_scheduled = false;
+  // Drop waiters already satisfied by an earlier transfer.
+  while (!unit.waiters.empty() && unit.waiters.front() == unit.location &&
+         !unit.in_flight) {
+    unit.waiters.pop_front();
+    DRRS_CHECK(outstanding_fetches_ > 0);
+    --outstanding_fetches_;
+  }
+  if (unit.waiters.empty()) {
+    MaybeFinish();
+    return;
+  }
+  if (unit.in_flight) return;  // the install callback re-serves
+  sim::SimTime now = graph_->sim()->now();
+  if (now < unit.cooldown_until) {
+    // Holder keeps it until the hold expires; retry then.
+    if (!unit.serve_scheduled) {
+      unit.serve_scheduled = true;
+      graph_->sim()->ScheduleAt(unit.cooldown_until + 1,
+                                [this, kg, sub]() { TryServe(kg, sub); });
+    }
+    return;
+  }
+  dataflow::InstanceId to = unit.waiters.front();
+  unit.waiters.pop_front();
+  DRRS_CHECK(outstanding_fetches_ > 0);
+  --outstanding_fetches_;
+  TransferUnit(InstanceById(unit.location), kg, sub, InstanceById(to),
+               /*priority=*/true);
+}
+
+uint64_t MecesStrategy::TransferUnit(Task* holder, dataflow::KeyGroupId kg,
+                                     uint32_t sub, Task* to, bool priority) {
+  Unit& unit = units_.at({kg, sub});
+  DRRS_CHECK(unit.location == holder->id());
+  DRRS_CHECK(!unit.in_flight);
+  unit.location = to->id();
+  unit.in_flight = true;
+  sim::SimTime now = graph_->sim()->now();
+  hub_->scaling().RecordFirstMigration(0, now);
+  if (!unit.first_move_recorded) {
+    unit.first_move_recorded = true;
+    hub_->scaling().RecordStateMigrated(0, kg, now);
+  }
+  hub_->scaling().RecordUnitTransfer(kg, sub);
+  uint64_t bytes = transfer_.SendSubKeyGroup(holder, RailTo(holder, to), kg,
+                                             sub, fanout_, 0, 0, priority);
+  holder->ConsumeProcessingTime(static_cast<sim::SimTime>(
+      bytes / graph_->config().state_serialize_bytes_per_us));
+  return bytes;
+}
+
+bool MecesStrategy::HandleControl(Task* task, net::Channel* /*channel*/,
+                                  const StreamElement& e) {
+  switch (e.kind) {
+    case ElementKind::kStateChunk: {
+      transfer_.Install(task, e);
+      task->ConsumeProcessingTime(static_cast<sim::SimTime>(
+          e.chunk_bytes / graph_->config().state_serialize_bytes_per_us));
+      auto it = units_.find({e.key_group, e.sub_key_group});
+      if (it != units_.end() && it->second.location == task->id()) {
+        Unit& unit = it->second;
+        unit.in_flight = false;
+        // The hold only starts once the holder is free to actually use the
+        // unit — otherwise installation-time CPU charges (deserialization)
+        // eat the hold and contended units rotate without any record ever
+        // being processed.
+        sim::SimTime usable_from =
+            std::max(graph_->sim()->now(), task->busy_until());
+        unit.hold_started = usable_from;
+        unit.cooldown_until = usable_from + unit_cooldown_;
+        if (!unit.waiters.empty() && !unit.serve_scheduled) {
+          unit.serve_scheduled = true;
+          dataflow::KeyGroupId kg = e.key_group;
+          uint32_t sub = e.sub_key_group;
+          graph_->sim()->ScheduleAt(unit.cooldown_until + 1,
+                                    [this, kg, sub]() { TryServe(kg, sub); });
+        }
+      }
+      task->WakeUp();
+      // Returning units may re-enable the holder's background pump.
+      if (!pump_active_[task->id()]) PumpBackground(task);
+      MaybeFinish();
+      return true;
+    }
+    case ElementKind::kConfirmBarrier: {
+      ++barriers_seen_[task->id()];
+      MaybeFinish();
+      return true;
+    }
+    default:
+      return false;
+  }
+}
+
+void MecesStrategy::PumpBackground(Task* src) {
+  // Send the next still-local unit towards its destination, paced by the
+  // wire; priority fetches overtake these background chunks on the rail.
+  pump_active_[src->id()] = false;
+  sim::SimTime now = graph_->sim()->now();
+  sim::SimTime earliest_cooldown = sim::kSimTimeMax;
+  for (auto& [key, unit] : units_) {
+    if (unit.location != src->id() || unit.in_flight) continue;
+    dataflow::InstanceId dest = destination_[key.first];
+    if (dest == src->id()) continue;
+    if (!unit.waiters.empty()) continue;  // demand has priority over pump
+    if (now < unit.cooldown_until) {
+      earliest_cooldown = std::min(earliest_cooldown, unit.cooldown_until);
+      continue;
+    }
+    Task* to = InstanceById(dest);
+    pump_active_[src->id()] = true;
+    uint64_t bytes = TransferUnit(src, key.first, key.second, to,
+                                  /*priority=*/false);
+    // Pace by the actual wire time so background chunks do not flood the
+    // rails ahead of priority fetches.
+    auto delay = static_cast<sim::SimTime>(
+        static_cast<double>(bytes) /
+        graph_->config().net.bandwidth_bytes_per_us);
+    graph_->sim()->ScheduleAfter(
+        delay + 100, [this, src]() { PumpBackground(src); });
+    return;
+  }
+  if (earliest_cooldown < sim::kSimTimeMax) {
+    // Units are only parked for their hold time: retry once it expires.
+    pump_active_[src->id()] = true;
+    graph_->sim()->ScheduleAt(earliest_cooldown + 1,
+                              [this, src]() { PumpBackground(src); });
+    return;
+  }
+  MaybeFinish();
+}
+
+bool MecesStrategy::HandleIsProcessable(Task* task, net::Channel* channel,
+                                        const StreamElement& e) {
+  if (channel != nullptr && channel->scaling_path()) return true;
+  if (e.kind != ElementKind::kRecord) return true;
+  dataflow::KeyGroupId kg = graph_->key_space().KeyGroupOf(e.key);
+  auto it = units_.find({kg, SubOf(e.key, fanout_)});
+  if (it == units_.end()) return true;  // key-group not migrating
+  Unit& unit = it->second;
+  // The unit must be assigned here AND its cells must have landed —
+  // processing against a fresh cell while the chunk is still on the wire
+  // would be overwritten at install time (lost update).
+  if (unit.location == task->id()) {
+    if (unit.in_flight) return false;
+    // Active use refreshes the hold (hot state stays while draining),
+    // bounded to 10 hold-times so contenders cannot starve.
+    sim::SimTime now = graph_->sim()->now();
+    unit.cooldown_until =
+        std::min(unit.hold_started + 10 * unit_cooldown_,
+                 std::max(unit.cooldown_until, now + unit_cooldown_));
+    return true;
+  }
+  // Fetch-on-Demand: request the unit with priority and suspend.
+  IssueFetch(task, kg, SubOf(e.key, fanout_));
+  return false;
+}
+
+void MecesStrategy::HandleWatermarkAdvance(Task* task, sim::SimTime wm) {
+  auto it = rails_out_.find(task->id());
+  if (it == rails_out_.end()) return;
+  for (net::Channel* rail : it->second) {
+    StreamElement w = dataflow::MakeWatermark(wm);
+    w.from_instance = task->id();
+    rail->Push(std::move(w));
+  }
+}
+
+void MecesStrategy::MaybeFinish() {
+  if (done_) return;
+  if (outstanding_fetches_ > 0) return;
+  for (const auto& [id, expected] : barriers_expected_) {
+    auto it = barriers_seen_.find(id);
+    if (it == barriers_seen_.end() || it->second < expected) return;
+  }
+  for (const auto& [key, unit] : units_) {
+    if (unit.location != destination_[key.first] || unit.in_flight) return;
+  }
+  for (const auto& [id, active] : pump_active_) {
+    if (active) return;
+  }
+  hub_->scaling().RecordScaleEnd(graph_->sim()->now());
+  for (Task* t : hooked_) {
+    t->set_hook(nullptr);
+    t->WakeUp();
+  }
+  // Release all side-watermark constraints.
+  for (const auto& [from_id, rails] : rails_out_) {
+    for (net::Channel* rail : rails) {
+      graph_->task(rail->receiver_id())->ClearSideWatermark(from_id);
+    }
+  }
+  hooked_.clear();
+  units_.clear();
+  rails_out_.clear();
+  done_ = true;
+}
+
+}  // namespace drrs::scaling

@@ -1,0 +1,86 @@
+#ifndef DRRS_SCALING_OTFS_H_
+#define DRRS_SCALING_OTFS_H_
+
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "runtime/task_hook.h"
+#include "scaling/strategy.h"
+
+namespace drrs::scaling {
+
+/// \brief Generalized on-the-fly scaling (paper Section II-B, Fig 1): the
+/// source injects a coupled scaling signal that propagates through the
+/// topology like a checkpoint barrier, with alignment at every hop;
+/// predecessors update routing tables before forwarding; the original
+/// instances migrate state after aligning, either all-at-once or fluidly.
+class OtfsStrategy : public ScalingStrategy {
+ public:
+  enum class MigrationMode { kAllAtOnce, kFluid };
+
+  OtfsStrategy(runtime::ExecutionGraph* graph, MigrationMode mode);
+  ~OtfsStrategy() override;
+
+  std::string name() const override {
+    return mode_ == MigrationMode::kAllAtOnce ? "otfs-all-at-once"
+                                              : "otfs-fluid";
+  }
+  Status StartScale(const ScalePlan& plan) override;
+
+ private:
+  friend class OtfsTaskHook;
+
+  struct TaskCtx {
+    /// channels that delivered the barrier and are blocked for alignment
+    std::vector<net::Channel*> blocked;
+    size_t barriers_seen = 0;
+    bool aligned = false;
+  };
+  /// Per destination instance: inbound migration bookkeeping.
+  struct DstCtx {
+    std::set<dataflow::KeyGroupId> pending;      ///< chunks not yet installed
+    std::set<dataflow::InstanceId> open_paths;   ///< sources still migrating
+    /// All-at-once: key-groups become usable only when their source path
+    /// finished (batch semantics); installed-but-unreleased groups sit here.
+    std::set<dataflow::KeyGroupId> unreleased;
+  };
+
+  bool HandleControl(runtime::Task* task, net::Channel* channel,
+                     const dataflow::StreamElement& e);
+  bool HandleIsProcessable(runtime::Task* task, net::Channel* channel,
+                           const dataflow::StreamElement& e);
+  void HandleWatermarkAdvance(runtime::Task* task, sim::SimTime wm);
+
+  void OnBarrierAligned(runtime::Task* task);
+  void PumpMigration(runtime::Task* src);
+  void SendTowardScalingOp(runtime::Task* task,
+                           const dataflow::StreamElement& barrier);
+  void MaybeFinish();
+
+  MigrationMode mode_;
+  std::unique_ptr<runtime::TaskHook> hook_;
+
+  ScalePlan plan_;
+  std::set<dataflow::OperatorId> upstream_;  ///< ops that reach plan_.op
+  std::map<dataflow::InstanceId, TaskCtx> align_;
+  std::map<dataflow::InstanceId, DstCtx> dst_;
+  /// Source-side outgoing queues: src instance -> (dst instance, kgs).
+  struct OutPath {
+    runtime::Task* dst = nullptr;
+    std::vector<dataflow::KeyGroupId> to_send;
+    net::Channel* rail = nullptr;
+  };
+  std::map<dataflow::InstanceId, std::vector<OutPath>> out_;
+  std::map<dataflow::InstanceId, std::set<net::Channel*>> rails_out_;
+  std::vector<runtime::Task*> hooked_;
+  size_t open_path_count_ = 0;
+  size_t align_needed_ = 0;
+  size_t aligned_count_ = 0;
+};
+
+}  // namespace drrs::scaling
+
+#endif  // DRRS_SCALING_OTFS_H_

@@ -1,0 +1,154 @@
+#include "scaling/planner.h"
+
+#include <algorithm>
+#include <map>
+
+#include "common/logging.h"
+
+namespace drrs::scaling {
+
+ScalePlan Planner::UniformPlan(dataflow::OperatorId op,
+                               const dataflow::KeySpace& key_space,
+                               uint32_t old_parallelism,
+                               uint32_t new_parallelism) {
+  std::vector<dataflow::InstanceId> old_assignment =
+      key_space.UniformAssignment(old_parallelism);
+  std::vector<dataflow::InstanceId> new_assignment =
+      key_space.UniformAssignment(new_parallelism);
+  ScalePlan plan = ExplicitPlan(
+      op, std::vector<uint32_t>(old_assignment.begin(), old_assignment.end()),
+      std::vector<uint32_t>(new_assignment.begin(), new_assignment.end()));
+  plan.old_parallelism = old_parallelism;
+  plan.new_parallelism = new_parallelism;
+  return plan;
+}
+
+ScalePlan Planner::ExplicitPlan(dataflow::OperatorId op,
+                                const std::vector<uint32_t>& old_assignment,
+                                const std::vector<uint32_t>& new_assignment) {
+  DRRS_CHECK(old_assignment.size() == new_assignment.size());
+  ScalePlan plan;
+  plan.op = op;
+  plan.new_assignment = new_assignment;
+  uint32_t old_p = 0;
+  uint32_t new_p = 0;
+  for (size_t kg = 0; kg < new_assignment.size(); ++kg) {
+    old_p = std::max(old_p, old_assignment[kg] + 1);
+    new_p = std::max(new_p, new_assignment[kg] + 1);
+    if (old_assignment[kg] != new_assignment[kg]) {
+      plan.migrations.push_back(Migration{
+          static_cast<dataflow::KeyGroupId>(kg), old_assignment[kg],
+          new_assignment[kg]});
+    }
+  }
+  plan.old_parallelism = old_p;
+  plan.new_parallelism = new_p;
+  return plan;
+}
+
+std::vector<Subscale> Planner::DivideSubscales(
+    const ScalePlan& plan, uint32_t max_key_groups_per_subscale) {
+  DRRS_CHECK(max_key_groups_per_subscale > 0);
+  // Group migrations by (from, to) path, preserving lexicographic key-group
+  // order within each group.
+  std::map<std::pair<uint32_t, uint32_t>, std::vector<dataflow::KeyGroupId>>
+      by_path;
+  for (const Migration& m : plan.migrations) {
+    by_path[{m.from, m.to}].push_back(m.key_group);
+  }
+  std::vector<Subscale> out;
+  dataflow::SubscaleId next_id = 0;
+  for (auto& [path, kgs] : by_path) {
+    for (size_t i = 0; i < kgs.size(); i += max_key_groups_per_subscale) {
+      Subscale s;
+      s.id = next_id++;
+      s.from = path.first;
+      s.to = path.second;
+      size_t end = std::min(kgs.size(), i + max_key_groups_per_subscale);
+      s.key_groups.assign(kgs.begin() + i, kgs.begin() + end);
+      out.push_back(std::move(s));
+    }
+  }
+  return out;
+}
+
+std::vector<size_t> Planner::GreedyOrder(
+    const ScalePlan& plan, const std::vector<Subscale>& subscales) {
+  // Initial ownership counts: every key-group not migrating sits with its
+  // (unchanged) owner; migrating ones start at `from`.
+  std::map<uint32_t, int64_t> owner_count;
+  std::vector<bool> migrating(plan.new_assignment.size(), false);
+  for (const Migration& m : plan.migrations) migrating[m.key_group] = true;
+  for (size_t kg = 0; kg < plan.new_assignment.size(); ++kg) {
+    if (!migrating[kg]) ++owner_count[plan.new_assignment[kg]];
+  }
+  for (const Migration& m : plan.migrations) ++owner_count[m.from];
+
+  std::vector<size_t> order;
+  std::vector<bool> used(subscales.size(), false);
+  for (size_t round = 0; round < subscales.size(); ++round) {
+    size_t best = subscales.size();
+    int64_t best_held = 0;
+    for (size_t i = 0; i < subscales.size(); ++i) {
+      if (used[i]) continue;
+      int64_t h = owner_count[subscales[i].to];
+      if (best == subscales.size() || h < best_held) {
+        best = i;
+        best_held = h;
+      }
+    }
+    DRRS_CHECK(best < subscales.size());
+    used[best] = true;
+    order.push_back(best);
+    // Account the delivery so later picks favour other starved instances.
+    const Subscale& s = subscales[best];
+    owner_count[s.to] += static_cast<int64_t>(s.key_groups.size());
+    owner_count[s.from] -= static_cast<int64_t>(s.key_groups.size());
+  }
+  return order;
+}
+
+ScalePlan Planner::BalancedPlan(dataflow::OperatorId op,
+                                const std::vector<uint32_t>& current,
+                                const std::vector<double>& weights,
+                                uint32_t new_parallelism, double stickiness) {
+  DRRS_CHECK(current.size() == weights.size());
+  DRRS_CHECK(new_parallelism > 0);
+  DRRS_CHECK(stickiness >= 0.0 && stickiness < 1.0);
+
+  // Longest-processing-time greedy: heaviest key-groups first, each placed
+  // on the instance with the lowest accumulated weight. The current owner
+  // gets a discount of `stickiness * weight`, so equal-looking placements
+  // avoid a migration.
+  std::vector<size_t> order(current.size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    if (weights[a] != weights[b]) return weights[a] > weights[b];
+    return a < b;
+  });
+
+  std::vector<double> load(new_parallelism, 0.0);
+  std::vector<uint32_t> assignment(current.size(), 0);
+  for (size_t kg : order) {
+    uint32_t best = 0;
+    double best_cost = -1;
+    for (uint32_t inst = 0; inst < new_parallelism; ++inst) {
+      double cost = load[inst] + weights[kg];
+      if (inst == current[kg] && current[kg] < new_parallelism) {
+        cost -= stickiness * weights[kg];
+      }
+      if (best_cost < 0 || cost < best_cost ||
+          (cost == best_cost && inst == current[kg])) {
+        best = inst;
+        best_cost = cost;
+      }
+    }
+    assignment[kg] = best;
+    load[best] += weights[kg];
+  }
+  ScalePlan plan = ExplicitPlan(op, current, assignment);
+  plan.new_parallelism = std::max(plan.new_parallelism, new_parallelism);
+  return plan;
+}
+
+}  // namespace drrs::scaling

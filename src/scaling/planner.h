@@ -1,0 +1,63 @@
+#ifndef DRRS_SCALING_PLANNER_H_
+#define DRRS_SCALING_PLANNER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "dataflow/key_space.h"
+#include "scaling/scale_plan.h"
+
+namespace drrs::scaling {
+
+/// \brief Default Scale Planner (paper Section IV-A, component C).
+///
+/// Policy Generator (C0): user-request-triggered, uniform repartitioning.
+/// Subscale Scheduler (C1): lexicographic, equally sized subscale division
+/// plus a greedy execution order that prioritizes subscales migrating to the
+/// instances holding the fewest keys, with a per-node concurrency threshold.
+class Planner {
+ public:
+  /// Build a plan that rescales `op` from `old_parallelism` to
+  /// `new_parallelism` using Flink's uniform key-group range assignment.
+  static ScalePlan UniformPlan(dataflow::OperatorId op,
+                               const dataflow::KeySpace& key_space,
+                               uint32_t old_parallelism,
+                               uint32_t new_parallelism);
+
+  /// Build a plan from an explicit post-scale assignment (key-group ->
+  /// subtask). `new_parallelism` must cover every assignment target.
+  static ScalePlan ExplicitPlan(dataflow::OperatorId op,
+                                const std::vector<uint32_t>& old_assignment,
+                                const std::vector<uint32_t>& new_assignment);
+
+  /// Partition the plan's migrations into subscales: migrations are first
+  /// grouped by (from, to) instance pair — so every subscale has exactly one
+  /// migration path — then split lexicographically into chunks of at most
+  /// `max_key_groups_per_subscale` key-groups.
+  static std::vector<Subscale> DivideSubscales(
+      const ScalePlan& plan, uint32_t max_key_groups_per_subscale);
+
+  /// Greedy execution order (C1): repeatedly pick the pending subscale whose
+  /// destination instance currently holds the fewest key-groups (counting
+  /// already-ordered subscales as delivered). Returns indexes into
+  /// `subscales`.
+  static std::vector<size_t> GreedyOrder(const ScalePlan& plan,
+                                         const std::vector<Subscale>& subscales);
+
+  /// Load-aware repartitioning (the "advanced scaling decision-making" the
+  /// paper leaves to future work): assigns key-groups to `new_parallelism`
+  /// instances by longest-processing-time greedy over `weights` (e.g. key
+  /// counts or observed record rates), breaking ties in favour of the
+  /// current owner so unnecessary migrations are avoided. `stickiness` in
+  /// [0,1) discounts a key-group's weight on its current owner, trading
+  /// balance for fewer migrations.
+  static ScalePlan BalancedPlan(dataflow::OperatorId op,
+                                const std::vector<uint32_t>& current,
+                                const std::vector<double>& weights,
+                                uint32_t new_parallelism,
+                                double stickiness = 0.0);
+};
+
+}  // namespace drrs::scaling
+
+#endif  // DRRS_SCALING_PLANNER_H_

@@ -1,0 +1,43 @@
+#ifndef DRRS_SCALING_SCALE_PLAN_H_
+#define DRRS_SCALING_SCALE_PLAN_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "dataflow/stream_element.h"
+
+namespace drrs::scaling {
+
+/// One key-group movement: state of `key_group` leaves subtask `from` and
+/// becomes owned by subtask `to` of the scaling operator.
+struct Migration {
+  dataflow::KeyGroupId key_group = 0;
+  uint32_t from = 0;  ///< subtask index (pre-scale owner)
+  uint32_t to = 0;    ///< subtask index (post-scale owner)
+};
+
+/// \brief Everything a scaling mechanism needs to execute one scaling
+/// operation (produced by the Scale Planner, paper Section IV-A).
+struct ScalePlan {
+  dataflow::OperatorId op = 0;
+  uint32_t old_parallelism = 0;
+  uint32_t new_parallelism = 0;
+  /// Post-scale owner subtask per key-group.
+  std::vector<uint32_t> new_assignment;
+  /// Key-groups whose owner changes, with source and destination.
+  std::vector<Migration> migrations;
+};
+
+/// A subscale: an independently migrated subset of the plan's migrations,
+/// all sharing one (source instance, destination instance) pair so each
+/// subscale owns exactly one migration path (Section III-C).
+struct Subscale {
+  dataflow::SubscaleId id = 0;
+  uint32_t from = 0;  ///< subtask index of the source instance
+  uint32_t to = 0;    ///< subtask index of the destination instance
+  std::vector<dataflow::KeyGroupId> key_groups;
+};
+
+}  // namespace drrs::scaling
+
+#endif  // DRRS_SCALING_SCALE_PLAN_H_

@@ -1,0 +1,55 @@
+#include "scaling/scale_service.h"
+
+#include <utility>
+
+#include "scaling/planner.h"
+
+namespace drrs::scaling {
+
+Status ScaleService::RequestRescale(dataflow::OperatorId op,
+                                    uint32_t target_parallelism) {
+  if (op >= graph_->job().operators().size()) {
+    return Status::InvalidArgument("unknown operator");
+  }
+  const auto& spec = graph_->job().operators()[op];
+  if (!spec.is_stateful || spec.is_source || spec.is_sink) {
+    return Status::InvalidArgument(
+        "only stateful internal operators can be rescaled");
+  }
+  if (target_parallelism == 0) {
+    return Status::InvalidArgument("zero target parallelism");
+  }
+
+  auto it = strategies_.find(op);
+  if (it == strategies_.end()) {
+    it = strategies_
+             .emplace(op, std::make_unique<DrrsStrategy>(
+                              graph_, options_.drrs,
+                              "drrs-op" + std::to_string(op)))
+             .first;
+  }
+  DrrsStrategy* strategy = it->second.get();
+
+  // A superseding request reuses the pending-plan path inside the strategy;
+  // its migrations are recomputed from live ownership when it starts, so the
+  // plan we hand over only needs the target assignment.
+  ScalePlan plan = options_.use_balanced_plan
+                       ? PlanBalancedRescale(graph_, op, target_parallelism,
+                                             options_.stickiness)
+                       : PlanRescale(graph_, op, target_parallelism);
+  return strategy->StartScale(plan);
+}
+
+bool ScaleService::idle() const {
+  for (const auto& [op, strategy] : strategies_) {
+    if (!strategy->done()) return false;
+  }
+  return true;
+}
+
+DrrsStrategy* ScaleService::strategy_for(dataflow::OperatorId op) {
+  auto it = strategies_.find(op);
+  return it == strategies_.end() ? nullptr : it->second.get();
+}
+
+}  // namespace drrs::scaling

@@ -1,0 +1,58 @@
+#ifndef DRRS_SCALING_SCALE_SERVICE_H_
+#define DRRS_SCALING_SCALE_SERVICE_H_
+
+#include <map>
+#include <memory>
+
+#include "scaling/drrs/drrs.h"
+#include "scaling/strategy.h"
+
+namespace drrs::scaling {
+
+/// \brief The paper's control-plane composition as one user-facing object
+/// (Fig 8): the Scale Planner (component C) turns a request into a plan —
+/// C0's default user-request trigger with uniform repartitioning, or the
+/// load-aware variant — and the Scale Coordinator (A) drives a per-operator
+/// DRRS strategy whose task hooks act as the Scale Executors (B).
+///
+/// One strategy instance exists per scaled operator, which gives the
+/// Section IV-B semantics for free: a second request for an operator that is
+/// already scaling supersedes the in-flight operation, while requests for
+/// distinct operators run concurrently.
+class ScaleService {
+ public:
+  struct Options {
+    DrrsOptions drrs;
+    /// Use Planner::BalancedPlan over live key counts instead of uniform
+    /// repartitioning.
+    bool use_balanced_plan = false;
+    double stickiness = 0.3;
+  };
+
+  explicit ScaleService(runtime::ExecutionGraph* graph)
+      : ScaleService(graph, Options()) {}
+  ScaleService(runtime::ExecutionGraph* graph, Options options)
+      : graph_(graph), options_(options) {}
+
+  ScaleService(const ScaleService&) = delete;
+  ScaleService& operator=(const ScaleService&) = delete;
+
+  /// User-request-based trigger (paper C0's default policy): rescale `op`
+  /// to `target_parallelism` on the fly.
+  Status RequestRescale(dataflow::OperatorId op, uint32_t target_parallelism);
+
+  /// True when no operator is currently scaling.
+  bool idle() const;
+
+  /// The per-operator strategy (null before the first request for `op`).
+  DrrsStrategy* strategy_for(dataflow::OperatorId op);
+
+ private:
+  runtime::ExecutionGraph* graph_;
+  Options options_;
+  std::map<dataflow::OperatorId, std::unique_ptr<DrrsStrategy>> strategies_;
+};
+
+}  // namespace drrs::scaling
+
+#endif  // DRRS_SCALING_SCALE_SERVICE_H_

@@ -1,0 +1,45 @@
+#ifndef DRRS_SCALING_STOP_RESTART_H_
+#define DRRS_SCALING_STOP_RESTART_H_
+
+#include <string>
+
+#include "scaling/strategy.h"
+
+namespace drrs::scaling {
+
+/// \brief The mainstream Stop-Checkpoint-Restart mechanism (Section I/II-A):
+/// halt the whole job, snapshot global state, redeploy with the new
+/// configuration, restore, resume.
+///
+/// Downtime is modeled from the global state volume (serialize + restore at
+/// a configurable rate) plus a fixed redeployment cost; during the halt the
+/// sources stop draining the feed, so latency accrues exactly as with a real
+/// restart.
+class StopRestartStrategy : public ScalingStrategy {
+ public:
+  struct Options {
+    /// Snapshot/restore throughput (bytes per µs). Applied twice.
+    double state_rate_bytes_per_us = 250.0;
+    /// Fixed redeploy/restart cost.
+    sim::SimTime redeploy_cost = sim::Seconds(2);
+  };
+
+  explicit StopRestartStrategy(runtime::ExecutionGraph* graph)
+      : StopRestartStrategy(graph, Options()) {}
+  StopRestartStrategy(runtime::ExecutionGraph* graph, Options options);
+
+  std::string name() const override { return "stop-restart"; }
+  Status StartScale(const ScalePlan& plan) override;
+
+  sim::SimTime last_downtime() const { return last_downtime_; }
+
+ private:
+  void Restore(const ScalePlan& plan);
+
+  Options options_;
+  sim::SimTime last_downtime_ = 0;
+};
+
+}  // namespace drrs::scaling
+
+#endif  // DRRS_SCALING_STOP_RESTART_H_

@@ -1,0 +1,174 @@
+#include "scaling/strategy.h"
+
+#include <utility>
+
+#include "common/logging.h"
+#include "scaling/planner.h"
+
+namespace drrs::scaling {
+
+using dataflow::ElementKind;
+using dataflow::StreamElement;
+
+namespace {
+/// Wire envelope for a state chunk even when the key-group is empty.
+constexpr uint64_t kChunkEnvelopeBytes = 256;
+}  // namespace
+
+uint64_t StateTransfer::Enqueue(runtime::Task* from, net::Channel* rail,
+                                state::KeyGroupState state, bool whole,
+                                const StreamElement& proto, bool priority) {
+  uint64_t bytes = state.TotalBytes() + kChunkEnvelopeBytes;
+  uint64_t id = next_id_++;
+  in_transit_[id] = Transit{std::move(state), whole};
+  StreamElement chunk = proto;
+  chunk.kind = ElementKind::kStateChunk;
+  chunk.from_instance = from->id();
+  chunk.seq = id;
+  chunk.chunk_bytes = bytes;
+  if (priority) {
+    rail->PushPriority(std::move(chunk));
+  } else {
+    rail->Push(std::move(chunk));
+  }
+  return bytes;
+}
+
+uint64_t StateTransfer::SendKeyGroup(runtime::Task* from, net::Channel* rail,
+                                     dataflow::KeyGroupId kg,
+                                     dataflow::ScaleId scale,
+                                     dataflow::SubscaleId subscale,
+                                     bool priority) {
+  DRRS_CHECK(from->state() != nullptr);
+  DRRS_CHECK(from->state()->OwnsKeyGroup(kg))
+      << "instance " << from->id() << " does not own key-group " << kg;
+  StreamElement proto;
+  proto.scale_id = scale;
+  proto.subscale_id = subscale;
+  proto.key_group = kg;
+  return Enqueue(from, rail, from->state()->ExtractKeyGroup(kg), true, proto,
+                 priority);
+}
+
+uint64_t StateTransfer::SendSubKeyGroup(runtime::Task* from,
+                                        net::Channel* rail,
+                                        dataflow::KeyGroupId kg, uint32_t sub,
+                                        uint32_t fanout,
+                                        dataflow::ScaleId scale,
+                                        dataflow::SubscaleId subscale,
+                                        bool priority) {
+  DRRS_CHECK(from->state() != nullptr);
+  StreamElement proto;
+  proto.scale_id = scale;
+  proto.subscale_id = subscale;
+  proto.key_group = kg;
+  proto.sub_key_group = sub;
+  return Enqueue(from, rail, from->state()->ExtractSubKeyGroup(kg, sub, fanout),
+                 false, proto, priority);
+}
+
+void StateTransfer::Install(runtime::Task* to, const StreamElement& chunk) {
+  DRRS_CHECK(chunk.kind == ElementKind::kStateChunk);
+  auto it = in_transit_.find(chunk.seq);
+  DRRS_CHECK(it != in_transit_.end()) << "unknown state transfer " << chunk.seq;
+  Transit transit = std::move(it->second);
+  in_transit_.erase(it);
+  DRRS_CHECK(to->state() != nullptr);
+  transit.state.key_group = chunk.key_group;
+  if (transit.whole_group) {
+    to->state()->InstallKeyGroup(std::move(transit.state));
+  } else {
+    // Merge cells only; the caller manages (sub-)ownership.
+    for (auto& [key, cell] : transit.state.cells) {
+      *to->state()->GetOrCreate(chunk.key_group, key) = std::move(cell);
+    }
+  }
+}
+
+std::vector<uint32_t> CurrentAssignment(runtime::ExecutionGraph* graph,
+                                        dataflow::OperatorId op) {
+  std::vector<uint32_t> assignment(graph->key_space().num_key_groups(),
+                                   UINT32_MAX);
+  const auto& instances = graph->instances_of(op);
+  for (uint32_t i = 0; i < instances.size(); ++i) {
+    for (dataflow::KeyGroupId kg : instances[i]->state()->owned_key_groups()) {
+      assignment[kg] = i;
+    }
+  }
+  for (uint32_t owner : assignment) {
+    DRRS_CHECK(owner != UINT32_MAX) << "unowned key-group";
+  }
+  return assignment;
+}
+
+ScalePlan PlanRescale(runtime::ExecutionGraph* graph, dataflow::OperatorId op,
+                      uint32_t new_parallelism) {
+  std::vector<dataflow::InstanceId> target =
+      graph->key_space().UniformAssignment(new_parallelism);
+  ScalePlan plan = Planner::ExplicitPlan(
+      op, CurrentAssignment(graph, op),
+      std::vector<uint32_t>(target.begin(), target.end()));
+  plan.new_parallelism = std::max(plan.new_parallelism, new_parallelism);
+  return plan;
+}
+
+std::vector<double> KeyGroupWeights(runtime::ExecutionGraph* graph,
+                                    dataflow::OperatorId op) {
+  std::vector<double> weights(graph->key_space().num_key_groups(), 0.0);
+  for (runtime::Task* t : graph->instances_of(op)) {
+    for (dataflow::KeyGroupId kg : t->state()->owned_key_groups()) {
+      weights[kg] = static_cast<double>(t->state()->KeyCount(kg));
+    }
+  }
+  return weights;
+}
+
+ScalePlan PlanBalancedRescale(runtime::ExecutionGraph* graph,
+                              dataflow::OperatorId op,
+                              uint32_t new_parallelism, double stickiness) {
+  return Planner::BalancedPlan(op, CurrentAssignment(graph, op),
+                               KeyGroupWeights(graph, op), new_parallelism,
+                               stickiness);
+}
+
+const std::vector<runtime::Task*>& ScalingStrategy::EnsureInstances(
+    const ScalePlan& plan) {
+  uint32_t current = graph_->parallelism_of(plan.op);
+  if (plan.new_parallelism > current) {
+    graph_->AddInstances(plan.op, plan.new_parallelism - current);
+  }
+  return graph_->instances_of(plan.op);
+}
+
+Status ScalingStrategy::ValidatePlan(const ScalePlan& plan,
+                                     bool check_ownership) const {
+  if (plan.new_assignment.size() != graph_->key_space().num_key_groups()) {
+    return Status::InvalidArgument("plan assignment size != key groups");
+  }
+  if (plan.new_parallelism == 0) {
+    return Status::InvalidArgument("zero target parallelism");
+  }
+  const auto& spec = graph_->job().operators()[plan.op];
+  if (!spec.is_stateful || spec.is_source || spec.is_sink) {
+    return Status::InvalidArgument(
+        "scaling operator must be a stateful internal operator");
+  }
+  for (const Migration& m : plan.migrations) {
+    if (m.from >= graph_->parallelism_of(plan.op)) {
+      return Status::InvalidArgument("migration source out of range");
+    }
+    if (m.to >= plan.new_parallelism) {
+      return Status::InvalidArgument("migration target out of range");
+    }
+    if (check_ownership &&
+        !graph_->instances_of(plan.op)[m.from]->state()->OwnsKeyGroup(
+            m.key_group)) {
+      return Status::FailedPrecondition(
+          "plan is stale: migration source does not own the key-group; "
+          "build plans with PlanRescale()");
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace drrs::scaling

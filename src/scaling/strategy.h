@@ -1,0 +1,119 @@
+#ifndef DRRS_SCALING_STRATEGY_H_
+#define DRRS_SCALING_STRATEGY_H_
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "runtime/execution_graph.h"
+#include "scaling/scale_plan.h"
+
+namespace drrs::scaling {
+
+/// \brief Moves keyed state between instances as sized chunk elements over
+/// scaling-path channels. The serialized cells travel out-of-band in an
+/// in-transit registry; the chunk element models the wire cost.
+class StateTransfer {
+ public:
+  /// Extract the whole key-group from `from` (releasing its ownership) and
+  /// enqueue a chunk on `rail`. Returns the chunk's modeled byte size.
+  uint64_t SendKeyGroup(runtime::Task* from, net::Channel* rail,
+                        dataflow::KeyGroupId kg, dataflow::ScaleId scale,
+                        dataflow::SubscaleId subscale, bool priority = false);
+
+  /// Extract one Meces-style sub-key-group (ownership flags untouched).
+  uint64_t SendSubKeyGroup(runtime::Task* from, net::Channel* rail,
+                           dataflow::KeyGroupId kg, uint32_t sub,
+                           uint32_t fanout, dataflow::ScaleId scale,
+                           dataflow::SubscaleId subscale,
+                           bool priority = false);
+
+  /// Install a received chunk into `to`. Whole-key-group chunks acquire
+  /// ownership; sub-key-group chunks merge cells without flipping it.
+  void Install(runtime::Task* to, const dataflow::StreamElement& chunk);
+
+  size_t in_transit_count() const { return in_transit_.size(); }
+
+ private:
+  uint64_t Enqueue(runtime::Task* from, net::Channel* rail,
+                   state::KeyGroupState state, bool whole,
+                   const dataflow::StreamElement& proto, bool priority);
+
+  uint64_t next_id_ = 1;
+  struct Transit {
+    state::KeyGroupState state;
+    bool whole_group = false;
+  };
+  std::unordered_map<uint64_t, Transit> in_transit_;
+};
+
+/// Live key-group -> subtask assignment of `op`, read from the backends.
+std::vector<uint32_t> CurrentAssignment(runtime::ExecutionGraph* graph,
+                                        dataflow::OperatorId op);
+
+/// Build a rescale plan from live ownership to the uniform assignment at
+/// `new_parallelism`. This is what callers should use at runtime (a plan
+/// derived from a stale assignment fails validation).
+ScalePlan PlanRescale(runtime::ExecutionGraph* graph, dataflow::OperatorId op,
+                      uint32_t new_parallelism);
+
+/// Per-key-group weights read from the live backends (key counts). Input to
+/// Planner::BalancedPlan for load-aware repartitioning under skew.
+std::vector<double> KeyGroupWeights(runtime::ExecutionGraph* graph,
+                                    dataflow::OperatorId op);
+
+/// Load-aware rescale plan from live ownership (see Planner::BalancedPlan).
+ScalePlan PlanBalancedRescale(runtime::ExecutionGraph* graph,
+                              dataflow::OperatorId op,
+                              uint32_t new_parallelism,
+                              double stickiness = 0.3);
+
+/// \brief Interface of an executable scaling mechanism.
+///
+/// A strategy is constructed idle; StartScale begins one scaling operation
+/// (adding instances as needed) and the strategy reports completion through
+/// done(). Strategies must leave the engine unhooked once done — DRRS's
+/// "no disruption during non-scaling periods" property is tested on this.
+class ScalingStrategy {
+ public:
+  explicit ScalingStrategy(runtime::ExecutionGraph* graph)
+      : graph_(graph), hub_(graph->hub()) {}
+  virtual ~ScalingStrategy() = default;
+
+  ScalingStrategy(const ScalingStrategy&) = delete;
+  ScalingStrategy& operator=(const ScalingStrategy&) = delete;
+
+  virtual std::string name() const = 0;
+
+  /// Begin executing `plan`. Returns an error and stays idle when the plan
+  /// is invalid or (unless the strategy supports supersession) one is
+  /// already running.
+  virtual Status StartScale(const ScalePlan& plan) = 0;
+
+  /// True when no scaling operation is in flight.
+  bool done() const { return done_; }
+
+  runtime::ExecutionGraph* graph() { return graph_; }
+
+ protected:
+  /// Grow the scaled operator to plan.new_parallelism (no-op when already
+  /// large enough). Returns all instances of the operator afterwards.
+  const std::vector<runtime::Task*>& EnsureInstances(const ScalePlan& plan);
+
+  /// `check_ownership` verifies each migration source currently owns its
+  /// key-group; superseding plans skip it (migrations are recomputed from
+  /// live ownership when the pending plan starts).
+  Status ValidatePlan(const ScalePlan& plan, bool check_ownership = true) const;
+
+  runtime::ExecutionGraph* graph_;
+  metrics::MetricsHub* hub_;
+  StateTransfer transfer_;
+  bool done_ = true;
+  dataflow::ScaleId next_scale_id_ = 1;
+};
+
+}  // namespace drrs::scaling
+
+#endif  // DRRS_SCALING_STRATEGY_H_

@@ -1,0 +1,122 @@
+#include "scaling/unbound.h"
+
+#include <utility>
+
+#include "common/logging.h"
+
+namespace drrs::scaling {
+
+using dataflow::ElementKind;
+using dataflow::StreamElement;
+using runtime::Task;
+
+class UnboundTaskHook : public runtime::TaskHook {
+ public:
+  explicit UnboundTaskHook(UnboundStrategy* s) : s_(s) {}
+  bool OnControl(Task* task, net::Channel* /*channel*/,
+                 const StreamElement& e) override {
+    return s_->HandleControl(task, e);
+  }
+  // Everything is always processable (universal keys); the state-miss
+  // counter stays armed on purpose.
+
+ private:
+  UnboundStrategy* s_;
+};
+
+UnboundStrategy::UnboundStrategy(runtime::ExecutionGraph* graph)
+    : ScalingStrategy(graph), hook_(std::make_unique<UnboundTaskHook>(this)) {}
+
+UnboundStrategy::~UnboundStrategy() = default;
+
+Status UnboundStrategy::StartScale(const ScalePlan& plan) {
+  DRRS_RETURN_NOT_OK(ValidatePlan(plan));
+  if (!done_) return Status::FailedPrecondition("scaling already in progress");
+  plan_ = plan;
+  done_ = false;
+  sim::SimTime now = graph_->sim()->now();
+  hub_->scaling().RecordScaleStart(now);
+  hub_->scaling().RecordSignalInjection(0, now);
+  EnsureInstances(plan_);
+
+  out_.clear();
+  pending_.clear();
+  hooked_.clear();
+  for (Task* t : graph_->instances_of(plan_.op)) {
+    t->set_hook(hook_.get());
+    hooked_.push_back(t);
+  }
+
+  // Instant routing update at every predecessor — no signals, no alignment.
+  for (Task* pred : graph_->PredecessorTasksOf(plan_.op)) {
+    runtime::OutputEdge* edge = graph_->FindEdgeTo(pred, plan_.op);
+    DRRS_CHECK(edge != nullptr);
+    for (const Migration& m : plan_.migrations) {
+      edge->routing.Update(m.key_group, m.to);
+    }
+  }
+
+  // Background best-effort state copy.
+  std::map<std::pair<uint32_t, uint32_t>, std::vector<dataflow::KeyGroupId>>
+      by_path;
+  for (const Migration& m : plan_.migrations) {
+    by_path[{m.from, m.to}].push_back(m.key_group);
+    pending_.insert(m.key_group);
+  }
+  for (auto& [path, kgs] : by_path) {
+    Task* src = graph_->instance(plan_.op, path.first);
+    Task* dst = graph_->instance(plan_.op, path.second);
+    out_[src->id()].push_back(
+        OutPath{dst, kgs, graph_->GetOrCreateScalingChannel(src, dst)});
+  }
+  for (auto& [src_id, paths] : out_) {
+    PumpCopy(graph_->task(src_id));
+  }
+  if (plan_.migrations.empty()) MaybeFinish();
+  return Status::OK();
+}
+
+void UnboundStrategy::PumpCopy(Task* src) {
+  auto it = out_.find(src->id());
+  if (it == out_.end()) return;
+  for (OutPath& p : it->second) {
+    if (p.to_send.empty()) continue;
+    dataflow::KeyGroupId kg = p.to_send.front();
+    p.to_send.erase(p.to_send.begin());
+    sim::SimTime now = graph_->sim()->now();
+    hub_->scaling().RecordFirstMigration(0, now);
+    uint64_t bytes = transfer_.SendKeyGroup(src, p.rail, kg, 0, 0);
+    src->ConsumeProcessingTime(static_cast<sim::SimTime>(
+        bytes / graph_->config().state_serialize_bytes_per_us));
+    hub_->scaling().RecordStateMigrated(0, kg, now);
+    auto delay = static_cast<sim::SimTime>(
+        static_cast<double>(bytes) /
+        graph_->config().net.bandwidth_bytes_per_us);
+    graph_->sim()->ScheduleAfter(delay + 1,
+                                 [this, src]() { PumpCopy(src); });
+    return;
+  }
+}
+
+bool UnboundStrategy::HandleControl(Task* task, const StreamElement& e) {
+  if (e.kind != ElementKind::kStateChunk) return false;
+  transfer_.Install(task, e);
+  pending_.erase(e.key_group);
+  task->WakeUp();
+  MaybeFinish();
+  return true;
+}
+
+void UnboundStrategy::MaybeFinish() {
+  if (done_ || !pending_.empty()) return;
+  hub_->scaling().RecordScaleEnd(graph_->sim()->now());
+  for (Task* t : hooked_) {
+    t->set_hook(nullptr);
+    t->WakeUp();
+  }
+  hooked_.clear();
+  out_.clear();
+  done_ = true;
+}
+
+}  // namespace drrs::scaling

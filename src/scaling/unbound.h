@@ -1,0 +1,53 @@
+#ifndef DRRS_SCALING_UNBOUND_H_
+#define DRRS_SCALING_UNBOUND_H_
+
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "runtime/task_hook.h"
+#include "scaling/strategy.h"
+
+namespace drrs::scaling {
+
+/// \brief "Unbound" — the correctness-free design probe of Section II-B:
+/// routing tables switch instantly (no signals to propagate), every record
+/// is processed immediately with whatever state is local ("universal keys"),
+/// and state copies over in the background.
+///
+/// It eliminates L_p and L_s and bypasses L_d, establishing the performance
+/// upper bound of Fig 2 — at the cost of correctness: the engine's
+/// state-locality violations counter is deliberately left enabled so the
+/// sacrifice is measurable.
+class UnboundStrategy : public ScalingStrategy {
+ public:
+  explicit UnboundStrategy(runtime::ExecutionGraph* graph);
+  ~UnboundStrategy() override;
+
+  std::string name() const override { return "unbound"; }
+  Status StartScale(const ScalePlan& plan) override;
+
+ private:
+  friend class UnboundTaskHook;
+
+  bool HandleControl(runtime::Task* task, const dataflow::StreamElement& e);
+  void PumpCopy(runtime::Task* src);
+  void MaybeFinish();
+
+  std::unique_ptr<runtime::TaskHook> hook_;
+  ScalePlan plan_;
+  struct OutPath {
+    runtime::Task* dst = nullptr;
+    std::vector<dataflow::KeyGroupId> to_send;
+    net::Channel* rail = nullptr;
+  };
+  std::map<dataflow::InstanceId, std::vector<OutPath>> out_;
+  std::set<dataflow::KeyGroupId> pending_;
+  std::vector<runtime::Task*> hooked_;
+};
+
+}  // namespace drrs::scaling
+
+#endif  // DRRS_SCALING_UNBOUND_H_

@@ -1,0 +1,29 @@
+#include "sim/event_queue.h"
+
+#include <utility>
+
+#include "common/logging.h"
+
+namespace drrs::sim {
+
+void EventQueue::Schedule(SimTime at, Callback cb) {
+  heap_.push(Event{at, next_seq_++, std::move(cb)});
+}
+
+SimTime EventQueue::PeekTime() const {
+  if (heap_.empty()) return kSimTimeMax;
+  return heap_.top().time;
+}
+
+SimTime EventQueue::Pop(Callback* out) {
+  DRRS_CHECK(!heap_.empty());
+  // std::priority_queue::top() returns const&; the callback is move-only in
+  // spirit, so const_cast is the standard workaround for moving out of it.
+  Event& top = const_cast<Event&>(heap_.top());
+  SimTime t = top.time;
+  *out = std::move(top.cb);
+  heap_.pop();
+  return t;
+}
+
+}  // namespace drrs::sim

@@ -1,0 +1,57 @@
+#ifndef DRRS_SIM_EVENT_QUEUE_H_
+#define DRRS_SIM_EVENT_QUEUE_H_
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "sim/sim_time.h"
+
+namespace drrs::sim {
+
+/// \brief Priority queue of timed callbacks, ordered by (time, insertion seq).
+///
+/// Ties are broken by insertion order so simulations are fully deterministic:
+/// two events scheduled for the same instant fire in the order they were
+/// scheduled.
+class EventQueue {
+ public:
+  using Callback = std::function<void()>;
+
+  /// Enqueue a callback to fire at absolute time `at`.
+  void Schedule(SimTime at, Callback cb);
+
+  bool empty() const { return heap_.empty(); }
+  size_t size() const { return heap_.size(); }
+
+  /// Time of the earliest pending event; kSimTimeMax when empty.
+  SimTime PeekTime() const;
+
+  /// Pop the earliest event. Caller must check empty() first.
+  /// Returns the event's scheduled time; the callback is moved into `out`.
+  SimTime Pop(Callback* out);
+
+  /// Number of events executed so far (diagnostic).
+  uint64_t scheduled_count() const { return next_seq_; }
+
+ private:
+  struct Event {
+    SimTime time;
+    uint64_t seq;
+    Callback cb;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;
+    }
+  };
+
+  std::priority_queue<Event, std::vector<Event>, Later> heap_;
+  uint64_t next_seq_ = 0;
+};
+
+}  // namespace drrs::sim
+
+#endif  // DRRS_SIM_EVENT_QUEUE_H_

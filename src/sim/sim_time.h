@@ -1,0 +1,22 @@
+#ifndef DRRS_SIM_SIM_TIME_H_
+#define DRRS_SIM_SIM_TIME_H_
+
+#include <cstdint>
+
+namespace drrs::sim {
+
+/// Simulated time in microseconds since simulation start.
+using SimTime = int64_t;
+
+inline constexpr SimTime kSimTimeMax = INT64_MAX;
+
+/// Convenience literal helpers: Micros(5), Millis(3), Seconds(2).
+inline constexpr SimTime Micros(int64_t us) { return us; }
+inline constexpr SimTime Millis(int64_t ms) { return ms * 1000; }
+inline constexpr SimTime Seconds(int64_t s) { return s * 1000 * 1000; }
+inline constexpr double ToSeconds(SimTime t) { return static_cast<double>(t) / 1e6; }
+inline constexpr double ToMillis(SimTime t) { return static_cast<double>(t) / 1e3; }
+
+}  // namespace drrs::sim
+
+#endif  // DRRS_SIM_SIM_TIME_H_

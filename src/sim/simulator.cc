@@ -1,0 +1,73 @@
+#include "sim/simulator.h"
+
+#include <memory>
+#include <utility>
+
+#include "common/logging.h"
+
+namespace drrs::sim {
+
+void Simulator::ScheduleAt(SimTime at, EventQueue::Callback cb) {
+  if (at < now_) at = now_;
+  queue_.Schedule(at, std::move(cb));
+}
+
+void Simulator::ScheduleAfter(SimTime delay, EventQueue::Callback cb) {
+  DRRS_CHECK(delay >= 0);
+  queue_.Schedule(now_ + delay, std::move(cb));
+}
+
+uint64_t Simulator::RunUntil(SimTime horizon) {
+  uint64_t n = 0;
+  while (!queue_.empty() && queue_.PeekTime() <= horizon) {
+    EventQueue::Callback cb;
+    now_ = queue_.Pop(&cb);
+    cb();
+    ++n;
+    ++executed_;
+  }
+  // The clock does not advance past the last executed event; callers that
+  // want now() == horizon after a quiet period schedule a sentinel event.
+  return n;
+}
+
+bool Simulator::Step() {
+  if (queue_.empty()) return false;
+  EventQueue::Callback cb;
+  now_ = queue_.Pop(&cb);
+  cb();
+  ++executed_;
+  return true;
+}
+
+namespace {
+// Shared cancellation token: the pending event holds the token by value so a
+// destroyed PeriodicProcess never leaves a dangling capture.
+struct PeriodicState {
+  Simulator* sim;
+  SimTime period;
+  std::function<void()> body;
+  bool cancelled = false;
+};
+
+void FirePeriodic(const std::shared_ptr<PeriodicState>& state) {
+  if (state->cancelled) return;
+  state->body();
+  if (state->cancelled) return;
+  state->sim->ScheduleAfter(state->period,
+                            [state]() { FirePeriodic(state); });
+}
+}  // namespace
+
+PeriodicProcess::PeriodicProcess(Simulator* sim, SimTime start, SimTime period,
+                                 std::function<void()> body) {
+  DRRS_CHECK(period > 0);
+  auto state = std::make_shared<PeriodicState>();
+  state->sim = sim;
+  state->period = period;
+  state->body = std::move(body);
+  cancel_hook_ = [state]() { state->cancelled = true; };
+  sim->ScheduleAt(start, [state]() { FirePeriodic(state); });
+}
+
+}  // namespace drrs::sim

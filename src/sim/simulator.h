@@ -1,0 +1,76 @@
+#ifndef DRRS_SIM_SIMULATOR_H_
+#define DRRS_SIM_SIMULATOR_H_
+
+#include <cstdint>
+#include <functional>
+
+#include "sim/event_queue.h"
+#include "sim/sim_time.h"
+
+namespace drrs::sim {
+
+/// \brief Discrete-event simulation driver.
+///
+/// Owns the virtual clock and the event queue. Engine entities (tasks,
+/// channels, coordinators) schedule callbacks; the simulator executes them in
+/// timestamp order, advancing the clock between events. Everything is
+/// single-threaded and deterministic.
+class Simulator {
+ public:
+  Simulator() = default;
+
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  SimTime now() const { return now_; }
+
+  /// Schedule `cb` at absolute simulated time `at` (clamped to now()).
+  void ScheduleAt(SimTime at, EventQueue::Callback cb);
+
+  /// Schedule `cb` after a relative delay (>= 0).
+  void ScheduleAfter(SimTime delay, EventQueue::Callback cb);
+
+  /// Run events until the queue is empty or `horizon` is passed. Events at
+  /// exactly `horizon` still execute. Returns the number of events executed.
+  uint64_t RunUntil(SimTime horizon);
+
+  /// Run until no events remain.
+  uint64_t RunUntilIdle() { return RunUntil(kSimTimeMax); }
+
+  /// Execute exactly one event if present. Returns false when idle.
+  bool Step();
+
+  uint64_t executed_events() const { return executed_; }
+
+ private:
+  SimTime now_ = 0;
+  uint64_t executed_ = 0;
+  EventQueue queue_;
+};
+
+/// \brief Helper that re-schedules a callback at a fixed period until
+/// cancelled, e.g. metric sampling or planner polling.
+class PeriodicProcess {
+ public:
+  /// Starts firing at `start`, then every `period`. The callback may call
+  /// Cancel(). The process must outlive the simulation or be cancelled.
+  PeriodicProcess(Simulator* sim, SimTime start, SimTime period,
+                  std::function<void()> body);
+  ~PeriodicProcess() { Cancel(); }
+
+  PeriodicProcess(const PeriodicProcess&) = delete;
+  PeriodicProcess& operator=(const PeriodicProcess&) = delete;
+
+  void Cancel() {
+    if (cancel_hook_) cancel_hook_();
+  }
+
+ private:
+  // Flips a shared cancellation flag owned by the scheduled event chain, so
+  // destroying the process never leaves a dangling capture.
+  std::function<void()> cancel_hook_;
+};
+
+}  // namespace drrs::sim
+
+#endif  // DRRS_SIM_SIMULATOR_H_

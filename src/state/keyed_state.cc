@@ -1,0 +1,97 @@
+#include "state/keyed_state.h"
+
+#include <utility>
+
+#include "common/logging.h"
+
+namespace drrs::state {
+
+StateCell* KeyedStateBackend::GetOrCreate(dataflow::KeyGroupId kg,
+                                          dataflow::KeyT key) {
+  DRRS_CHECK(kg < num_key_groups_);
+  return &groups_[kg][key];
+}
+
+StateCell* KeyedStateBackend::Get(dataflow::KeyGroupId kg,
+                                  dataflow::KeyT key) {
+  DRRS_CHECK(kg < num_key_groups_);
+  auto it = groups_[kg].find(key);
+  if (it == groups_[kg].end()) return nullptr;
+  return &it->second;
+}
+
+KeyGroupState KeyedStateBackend::ExtractKeyGroup(dataflow::KeyGroupId kg) {
+  DRRS_CHECK(kg < num_key_groups_);
+  KeyGroupState out;
+  out.key_group = kg;
+  out.cells = std::move(groups_[kg]);
+  groups_[kg].clear();
+  owned_.erase(kg);
+  return out;
+}
+
+KeyGroupState KeyedStateBackend::ExtractSubKeyGroup(dataflow::KeyGroupId kg,
+                                                    uint32_t sub,
+                                                    uint32_t fanout) {
+  DRRS_CHECK(kg < num_key_groups_);
+  DRRS_CHECK(fanout > 0 && sub < fanout);
+  KeyGroupState out;
+  out.key_group = kg;
+  auto& cells = groups_[kg];
+  for (auto it = cells.begin(); it != cells.end();) {
+    if (HashKey(it->first ^ 0x5BD1E995) % fanout == sub) {
+      out.cells.emplace(it->first, std::move(it->second));
+      it = cells.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  return out;
+}
+
+void KeyedStateBackend::InstallKeyGroup(KeyGroupState state) {
+  DRRS_CHECK(state.key_group < num_key_groups_);
+  auto& cells = groups_[state.key_group];
+  for (auto& [key, cell] : state.cells) {
+    cells[key] = std::move(cell);
+  }
+  owned_.insert(state.key_group);
+}
+
+uint64_t KeyedStateBackend::KeyGroupBytes(dataflow::KeyGroupId kg) const {
+  uint64_t total = 0;
+  for (const auto& [key, cell] : groups_[kg]) total += cell.nominal_bytes;
+  return total;
+}
+
+uint64_t KeyedStateBackend::TotalBytes() const {
+  uint64_t total = 0;
+  for (dataflow::KeyGroupId kg : owned_) total += KeyGroupBytes(kg);
+  return total;
+}
+
+uint64_t KeyedStateBackend::TotalKeys() const {
+  uint64_t total = 0;
+  for (dataflow::KeyGroupId kg : owned_) total += groups_[kg].size();
+  return total;
+}
+
+std::vector<KeyGroupState> KeyedStateBackend::Snapshot() const {
+  std::vector<KeyGroupState> out;
+  out.reserve(owned_.size());
+  for (dataflow::KeyGroupId kg : owned_) {
+    KeyGroupState s;
+    s.key_group = kg;
+    s.cells = groups_[kg];  // deep copy
+    out.push_back(std::move(s));
+  }
+  return out;
+}
+
+void KeyedStateBackend::Restore(std::vector<KeyGroupState> snapshot) {
+  for (auto& g : groups_) g.clear();
+  owned_.clear();
+  for (auto& s : snapshot) InstallKeyGroup(std::move(s));
+}
+
+}  // namespace drrs::state

@@ -1,0 +1,127 @@
+#ifndef DRRS_STATE_KEYED_STATE_H_
+#define DRRS_STATE_KEYED_STATE_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "common/hash.h"
+#include "dataflow/stream_element.h"
+#include "sim/sim_time.h"
+
+namespace drrs::state {
+
+/// \brief Per-key state record.
+///
+/// A small general-purpose cell that covers the operators in this repo:
+/// counters/sums for aggregations, `windows` for sliding-window panes
+/// (window_end -> aggregate), and `nominal_bytes`, the modeled serialized
+/// size used by the network model during migration. Operators adjust
+/// `nominal_bytes` as their logical state grows (e.g. the custom workload's
+/// configurable state size, paper Section V-D).
+struct StateCell {
+  int64_t counter = 0;
+  int64_t sum = 0;
+  int64_t last_value = 0;
+  std::vector<std::pair<sim::SimTime, int64_t>> windows;
+  uint64_t nominal_bytes = 64;
+
+  /// Default size model: fixed envelope plus 16 bytes per open window pane.
+  void RecomputeBytes(uint64_t base = 64) {
+    nominal_bytes = base + windows.size() * 16;
+  }
+};
+
+/// State of one key-group, the atomic migration unit.
+struct KeyGroupState {
+  dataflow::KeyGroupId key_group = 0;
+  std::unordered_map<dataflow::KeyT, StateCell> cells;
+
+  uint64_t TotalBytes() const {
+    uint64_t total = 0;
+    for (const auto& [key, cell] : cells) total += cell.nominal_bytes;
+    return total;
+  }
+};
+
+/// \brief Keyed state of one task instance, partitioned by key-group.
+///
+/// Mirrors Flink's keyed state backend at the granularity the scaling
+/// mechanisms need: ownership per key-group, extraction/installation of whole
+/// key-groups (or Meces-style sub-key-groups), and full snapshots for
+/// checkpointing.
+class KeyedStateBackend {
+ public:
+  explicit KeyedStateBackend(uint32_t num_key_groups)
+      : num_key_groups_(num_key_groups), groups_(num_key_groups) {}
+
+  uint32_t num_key_groups() const { return num_key_groups_; }
+
+  /// Declare this instance the owner of `kg` (initial deployment / after a
+  /// completed migration).
+  void AcquireKeyGroup(dataflow::KeyGroupId kg) { owned_.insert(kg); }
+  void ReleaseKeyGroup(dataflow::KeyGroupId kg) { owned_.erase(kg); }
+  bool OwnsKeyGroup(dataflow::KeyGroupId kg) const {
+    return owned_.count(kg) > 0;
+  }
+  const std::unordered_set<dataflow::KeyGroupId>& owned_key_groups() const {
+    return owned_;
+  }
+
+  /// Access the cell for `key` in key-group `kg`, creating it if absent.
+  /// The caller is responsible for only touching owned key-groups; that
+  /// invariant is what the scaling strategies enforce and the tests check.
+  StateCell* GetOrCreate(dataflow::KeyGroupId kg, dataflow::KeyT key);
+
+  /// Returns null when the key has no state yet.
+  StateCell* Get(dataflow::KeyGroupId kg, dataflow::KeyT key);
+
+  bool HasAnyState(dataflow::KeyGroupId kg) const {
+    return !groups_[kg].empty();
+  }
+
+  /// Move out the full state of a key-group (ownership is released).
+  KeyGroupState ExtractKeyGroup(dataflow::KeyGroupId kg);
+
+  /// Move out only the keys of `kg` whose sub-key-group (hash % fanout) is
+  /// `sub`. Used by Meces' hierarchical state organization. Ownership flags
+  /// are managed by the caller.
+  KeyGroupState ExtractSubKeyGroup(dataflow::KeyGroupId kg, uint32_t sub,
+                                   uint32_t fanout);
+
+  /// Merge a migrated key-group (or sub-key-group) into this backend and mark
+  /// it owned.
+  void InstallKeyGroup(KeyGroupState state);
+
+  /// Visit every key currently stored in `kg`. The callback must not mutate
+  /// the backend's key set (cell contents are fine to change via Get).
+  template <typename Fn>
+  void ForEachKey(dataflow::KeyGroupId kg, Fn&& fn) const {
+    for (const auto& [key, cell] : groups_[kg]) fn(key);
+  }
+
+  uint64_t KeyGroupBytes(dataflow::KeyGroupId kg) const;
+  uint64_t KeyCount(dataflow::KeyGroupId kg) const {
+    return groups_[kg].size();
+  }
+
+  /// Total serialized size across owned key-groups (metrics sampling).
+  uint64_t TotalBytes() const;
+  uint64_t TotalKeys() const;
+
+  /// Deep copy of all owned state (checkpointing).
+  std::vector<KeyGroupState> Snapshot() const;
+
+  /// Replace all local state with a snapshot (restore path).
+  void Restore(std::vector<KeyGroupState> snapshot);
+
+ private:
+  uint32_t num_key_groups_;
+  std::vector<std::unordered_map<dataflow::KeyT, StateCell>> groups_;
+  std::unordered_set<dataflow::KeyGroupId> owned_;
+};
+
+}  // namespace drrs::state
+
+#endif  // DRRS_STATE_KEYED_STATE_H_

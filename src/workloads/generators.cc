@@ -1,0 +1,53 @@
+#include "workloads/generators.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace drrs::workloads {
+
+RateGenerator::RateGenerator(const Params& params)
+    : params_(params),
+      rng_(params.seed),
+      keys_(std::max<uint64_t>(1, params.num_keys), params.key_skew,
+            params.seed ^ 0x9E3779B97F4A7C15ULL),
+      next_arrival_(params.start) {
+  DRRS_CHECK(params_.events_per_second > 0);
+}
+
+bool RateGenerator::Next(dataflow::StreamElement* out, sim::SimTime* arrival) {
+  if (next_arrival_ >= params_.start + params_.duration) return false;
+  *arrival = next_arrival_;
+
+  double rate = params_.events_per_second;
+  if (params_.surge_at >= 0 && next_arrival_ >= params_.surge_at) {
+    rate *= params_.surge_factor;
+  }
+  double mean_gap_us = 1e6 / rate;
+  auto gap = static_cast<sim::SimTime>(
+      params_.deterministic_gaps ? mean_gap_us
+                                 : rng_.NextExponential(mean_gap_us));
+  next_arrival_ += std::max<sim::SimTime>(1, gap);
+
+  dataflow::StreamElement e = dataflow::MakeRecord(
+      params_.key_base + keys_.Sample(),
+      static_cast<int64_t>(rng_.NextBounded(
+          static_cast<uint64_t>(std::max<int64_t>(1, params_.value_range)))),
+      /*event_time=*/*arrival, /*create_time=*/*arrival,
+      params_.payload_bytes);
+  *out = e;
+  return true;
+}
+
+dataflow::SourceGeneratorFactory MakeRateGeneratorFactory(
+    RateGenerator::Params params) {
+  return [params](uint32_t subtask, uint32_t parallelism)
+             -> std::unique_ptr<dataflow::SourceGenerator> {
+    RateGenerator::Params p = params;
+    p.events_per_second = params.events_per_second / parallelism;
+    p.seed = params.seed * 1000003ULL + subtask;
+    return std::make_unique<RateGenerator>(p);
+  };
+}
+
+}  // namespace drrs::workloads

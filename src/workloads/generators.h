@@ -1,0 +1,59 @@
+#ifndef DRRS_WORKLOADS_GENERATORS_H_
+#define DRRS_WORKLOADS_GENERATORS_H_
+
+#include <memory>
+
+#include "common/random.h"
+#include "dataflow/source_generator.h"
+
+namespace drrs::workloads {
+
+/// \brief Generic rate-controlled keyed event generator: exponential
+/// inter-arrival gaps at `rate` events/s (per subtask), Zipf-distributed
+/// keys, fixed payload size, values drawn uniformly from [0, value_range).
+class RateGenerator : public dataflow::SourceGenerator {
+ public:
+  struct Params {
+    double events_per_second = 1000;
+    uint64_t num_keys = 1000;
+    double key_skew = 0.0;           ///< Zipf exponent (0 = uniform)
+    uint32_t payload_bytes = 100;
+    int64_t value_range = 1000000;
+    sim::SimTime duration = sim::Seconds(60);
+    sim::SimTime start = 0;
+    uint64_t seed = 42;
+    /// Optional rate multiplier applied after `surge_at` (simulating the
+    /// load fluctuation that motivates a scaling request).
+    sim::SimTime surge_at = -1;
+    double surge_factor = 1.0;
+    /// Keys are drawn from [key_base, key_base + num_keys); distinct bases
+    /// per source subtask keep streams disjoint when desired.
+    uint64_t key_base = 0;
+    /// Constant inter-arrival gaps instead of exponential ones: a perfectly
+    /// paced feed whose queueing is attributable to the system alone.
+    bool deterministic_gaps = false;
+  };
+
+  explicit RateGenerator(const Params& params);
+
+  bool Next(dataflow::StreamElement* out, sim::SimTime* arrival) override;
+
+  const Params& params() const { return params_; }
+
+ private:
+  Params params_;
+  Rng rng_;
+  ZipfSampler keys_;
+  sim::SimTime next_arrival_;
+};
+
+/// Factory helper: each source subtask gets an independent stream with
+/// `params.events_per_second / parallelism` of the total rate and a
+/// subtask-distinct seed over the SAME key space (keys are shared across
+/// subtasks, like Kafka partitions of one topic).
+dataflow::SourceGeneratorFactory MakeRateGeneratorFactory(
+    RateGenerator::Params params);
+
+}  // namespace drrs::workloads
+
+#endif  // DRRS_WORKLOADS_GENERATORS_H_

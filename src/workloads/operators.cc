@@ -1,0 +1,170 @@
+#include "workloads/operators.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace drrs::workloads {
+
+using dataflow::OperatorContext;
+using dataflow::StreamElement;
+using state::StateCell;
+
+namespace {
+StateCell* CellFor(OperatorContext* ctx, dataflow::KeyT key) {
+  state::KeyedStateBackend* backend = ctx->state();
+  DRRS_CHECK(backend != nullptr);
+  // The engine guarantees (and checks) key-group locality; the operator only
+  // needs the key-group index for storage.
+  return backend->GetOrCreate(
+      static_cast<dataflow::KeyGroupId>(
+          drrs::HashKey(key) % backend->num_key_groups()),
+      key);
+}
+}  // namespace
+
+void KeyedAggregateOperator::ProcessRecord(const StreamElement& record,
+                                           OperatorContext* ctx) {
+  StateCell* cell = CellFor(ctx, record.key);
+  cell->counter += 1;
+  cell->sum += record.value;
+  cell->last_value = record.value;
+  cell->RecomputeBytes(64 + padding_);
+  StreamElement out = record;
+  out.value = cell->sum;
+  out.payload_bytes = std::max<uint32_t>(record.payload_bytes / 2, 16);
+  ctx->Emit(out);
+}
+
+SlidingWindowOperator::SlidingWindowOperator(sim::SimTime window_size,
+                                             sim::SimTime slide, AggFn agg,
+                                             uint64_t state_padding_bytes,
+                                             sim::SimTime scan_interval,
+                                             uint64_t bytes_per_element)
+    : window_size_(window_size),
+      slide_(slide),
+      agg_(agg),
+      padding_(state_padding_bytes),
+      scan_interval_(scan_interval),
+      bytes_per_element_(bytes_per_element) {
+  DRRS_CHECK(window_size_ > 0 && slide_ > 0 && window_size_ % slide_ == 0);
+}
+
+void SlidingWindowOperator::RecomputeCellBytes(state::StateCell* cell) const {
+  uint64_t bytes = 64 + padding_ + cell->windows.size() * 16;
+  if (bytes_per_element_ > 0 && agg_ == AggFn::kCount) {
+    // List-like panes: contents grow with every contained record.
+    for (const auto& [end, count] : cell->windows) {
+      bytes += static_cast<uint64_t>(count) * bytes_per_element_;
+    }
+  }
+  cell->nominal_bytes = bytes;
+}
+
+void SlidingWindowOperator::FireDue(dataflow::KeyT key, StateCell* cell,
+                                    sim::SimTime wm, OperatorContext* ctx) {
+  auto& windows = cell->windows;
+  size_t kept = 0;
+  for (size_t i = 0; i < windows.size(); ++i) {
+    if (windows[i].first <= wm) {
+      StreamElement out;
+      out.kind = dataflow::ElementKind::kRecord;
+      out.key = key;
+      out.value = windows[i].second;
+      out.event_time = windows[i].first;
+      out.payload_bytes = 32;
+      ctx->Emit(out);
+    } else {
+      windows[kept++] = windows[i];
+    }
+  }
+  windows.resize(kept);
+  RecomputeCellBytes(cell);
+}
+
+void SlidingWindowOperator::ProcessRecord(const StreamElement& record,
+                                          OperatorContext* ctx) {
+  StateCell* cell = CellFor(ctx, record.key);
+  // Assign to every sliding pane covering the event time.
+  sim::SimTime first_end =
+      (record.event_time / slide_) * slide_ + slide_;  // smallest end > et
+  for (sim::SimTime end = first_end; end < record.event_time + window_size_;
+       end += slide_) {
+    bool found = false;
+    for (auto& [w_end, agg] : cell->windows) {
+      if (w_end != end) continue;
+      found = true;
+      switch (agg_) {
+        case AggFn::kMax:
+          agg = std::max(agg, record.value);
+          break;
+        case AggFn::kSum:
+          agg += record.value;
+          break;
+        case AggFn::kCount:
+          agg += 1;
+          break;
+      }
+      break;
+    }
+    if (!found) {
+      cell->windows.emplace_back(
+          end, agg_ == AggFn::kCount ? 1 : record.value);
+    }
+  }
+  cell->counter += 1;
+  RecomputeCellBytes(cell);
+  // Eager per-key firing keeps result latency tied to the watermark even
+  // between periodic scans.
+  if (ctx->watermark() >= 0) FireDue(record.key, cell, ctx->watermark(), ctx);
+}
+
+void SlidingWindowOperator::ProcessWatermark(sim::SimTime watermark,
+                                             OperatorContext* ctx) {
+  if (last_scan_ >= 0 && watermark - last_scan_ < scan_interval_) return;
+  last_scan_ = watermark;
+  state::KeyedStateBackend* backend = ctx->state();
+  DRRS_CHECK(backend != nullptr);
+  for (dataflow::KeyGroupId kg : backend->owned_key_groups()) {
+    // FireDue emits records (which may re-enter state); snapshot the key set
+    // before firing.
+    std::vector<dataflow::KeyT> keys;
+    keys.reserve(backend->KeyCount(kg));
+    backend->ForEachKey(kg,
+                        [&keys](dataflow::KeyT key) { keys.push_back(key); });
+    for (dataflow::KeyT key : keys) {
+      state::StateCell* cell = backend->Get(kg, key);
+      if (cell != nullptr && !cell->windows.empty()) {
+        FireDue(key, cell, watermark, ctx);
+      }
+    }
+  }
+}
+
+void MapOperator::ProcessRecord(const StreamElement& record,
+                                OperatorContext* ctx) {
+  StreamElement out = record;
+  if (den_ != 0) out.value = record.value * num_ / den_;
+  ctx->Emit(out);
+}
+
+void SessionOperator::ProcessRecord(const StreamElement& record,
+                                    OperatorContext* ctx) {
+  StateCell* cell = CellFor(ctx, record.key);
+  if (cell->last_value != 0 &&
+      record.event_time - cell->last_value > gap_) {
+    // Session closed: emit its length (in events) and start a new one.
+    StreamElement out = record;
+    out.value = cell->counter;
+    ctx->Emit(out);
+    cell->counter = 0;
+  }
+  cell->counter += 1;
+  cell->last_value = record.event_time;
+  cell->RecomputeBytes();
+  StreamElement out = record;
+  out.value = record.value;
+  ctx->Emit(out);
+}
+
+}  // namespace drrs::workloads

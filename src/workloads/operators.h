@@ -1,0 +1,100 @@
+#ifndef DRRS_WORKLOADS_OPERATORS_H_
+#define DRRS_WORKLOADS_OPERATORS_H_
+
+#include <cstdint>
+#include <memory>
+
+#include "dataflow/operator.h"
+#include "sim/sim_time.h"
+
+namespace drrs::workloads {
+
+/// Aggregation functions for windowed operators.
+enum class AggFn : uint8_t { kMax = 0, kSum, kCount };
+
+/// \brief Keyed running aggregate: per record, updates the key's counter and
+/// sum and emits the running value. `state_padding_bytes` models additional
+/// per-key state (the custom workload's adjustable state size, Section V-D).
+class KeyedAggregateOperator : public dataflow::Operator {
+ public:
+  explicit KeyedAggregateOperator(uint64_t state_padding_bytes = 0)
+      : padding_(state_padding_bytes) {}
+
+  void ProcessRecord(const dataflow::StreamElement& record,
+                     dataflow::OperatorContext* ctx) override;
+
+ private:
+  uint64_t padding_;
+};
+
+/// \brief Keyed sliding-window aggregation (NEXMark Q7/Q8 style).
+///
+/// Window panes live in the keyed state (so they migrate with it) as
+/// (window_end -> aggregate) pairs. Panes fire when the operator watermark
+/// passes their end: eagerly when the key receives a record, and via a
+/// throttled full scan on watermark advance so idle keys flush too.
+class SlidingWindowOperator : public dataflow::Operator {
+ public:
+  /// `bytes_per_element` models list-like pane contents: each record adds
+  /// that many bytes to its panes' state until they fire (how tumbling
+  /// windows accumulate a whole period of state and release it at once —
+  /// the instability the paper sidesteps, Section V-A). 0 keeps panes at a
+  /// constant aggregate size.
+  SlidingWindowOperator(sim::SimTime window_size, sim::SimTime slide,
+                        AggFn agg, uint64_t state_padding_bytes = 0,
+                        sim::SimTime scan_interval = sim::Seconds(1),
+                        uint64_t bytes_per_element = 0);
+
+  void ProcessRecord(const dataflow::StreamElement& record,
+                     dataflow::OperatorContext* ctx) override;
+  void ProcessWatermark(sim::SimTime watermark,
+                        dataflow::OperatorContext* ctx) override;
+
+ private:
+  void FireDue(dataflow::KeyT key, state::StateCell* cell, sim::SimTime wm,
+               dataflow::OperatorContext* ctx);
+
+  sim::SimTime window_size_;
+  sim::SimTime slide_;
+  AggFn agg_;
+  uint64_t padding_;
+  sim::SimTime scan_interval_;
+  sim::SimTime last_scan_ = -1;
+  uint64_t bytes_per_element_;
+
+  void RecomputeCellBytes(state::StateCell* cell) const;
+};
+
+/// \brief Stateless pass-through with an optional value transform; models
+/// parse/enrich/normalize pipeline stages.
+class MapOperator : public dataflow::Operator {
+ public:
+  /// `scale_num/scale_den` applies an integer transform to the value.
+  MapOperator(int64_t scale_num = 1, int64_t scale_den = 1)
+      : num_(scale_num), den_(scale_den) {}
+
+  void ProcessRecord(const dataflow::StreamElement& record,
+                     dataflow::OperatorContext* ctx) override;
+
+ private:
+  int64_t num_;
+  int64_t den_;
+};
+
+/// \brief Keyed sessionizer: counts a key's consecutive activity and closes
+/// a session after `gap` of event-time inactivity, emitting the session
+/// length (Twitch pipeline stage).
+class SessionOperator : public dataflow::Operator {
+ public:
+  explicit SessionOperator(sim::SimTime gap) : gap_(gap) {}
+
+  void ProcessRecord(const dataflow::StreamElement& record,
+                     dataflow::OperatorContext* ctx) override;
+
+ private:
+  sim::SimTime gap_;
+};
+
+}  // namespace drrs::workloads
+
+#endif  // DRRS_WORKLOADS_OPERATORS_H_

@@ -1,0 +1,143 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "harness/experiment.h"
+#include "runtime/execution_graph.h"
+#include "scaling/drrs/drrs.h"
+#include "scaling/strategy.h"
+#include "sim/simulator.h"
+#include "workloads/workloads.h"
+
+namespace drrs::scaling {
+namespace {
+
+// Section IV-B case 2: an operator serving simultaneously as a scaling
+// operator and as a predecessor of another scaling operator. In the Twitch
+// pipeline, `sessionize` feeds `loyalty`; we rescale both concurrently with
+// independent strategy instances and require full semantic preservation.
+
+workloads::TwitchParams SmallTwitch() {
+  workloads::TwitchParams p;
+  p.events_per_second = 1500;
+  p.num_users = 3000;
+  p.user_skew = 0.5;
+  p.duration = sim::Seconds(30);
+  p.session_parallelism = 3;
+  p.loyalty_parallelism = 4;
+  p.num_key_groups = 32;
+  p.record_cost = sim::Micros(300);
+  p.state_padding_bytes = 2048;
+  return p;
+}
+
+TEST(ConcurrentOps, UpstreamAndDownstreamScaleTogether) {
+  auto w = workloads::BuildTwitchWorkload(SmallTwitch());
+  sim::Simulator sim;
+  metrics::MetricsHub hub;
+  runtime::ExecutionGraph graph(&sim, w.graph, runtime::EngineConfig{}, &hub);
+  ASSERT_TRUE(graph.Build().ok());
+
+  dataflow::OperatorId session_op = graph.OperatorByName("sessionize");
+  dataflow::OperatorId loyalty_op = graph.OperatorByName("loyalty");
+
+  DrrsStrategy session_scaler(&graph, FullDrrsOptions(), "drrs-session");
+  DrrsStrategy loyalty_scaler(&graph, FullDrrsOptions(), "drrs-loyalty");
+
+  sim.ScheduleAt(sim::Seconds(10), [&] {
+    ASSERT_TRUE(
+        loyalty_scaler.StartScale(PlanRescale(&graph, loyalty_op, 6)).ok());
+  });
+  // The upstream operator starts scaling while the downstream migration is
+  // in flight: new sessionize instances become predecessors of loyalty
+  // mid-scale and must adopt the already-updated routing (Section IV-B).
+  sim.ScheduleAt(sim::Seconds(10) + sim::Millis(10), [&] {
+    ASSERT_TRUE(
+        session_scaler.StartScale(PlanRescale(&graph, session_op, 5)).ok());
+  });
+
+  graph.Start();
+  sim.RunUntilIdle();
+
+  EXPECT_TRUE(session_scaler.done());
+  EXPECT_TRUE(loyalty_scaler.done());
+  EXPECT_TRUE(hub.invariants().Clean());
+  EXPECT_EQ(hub.sink_rate().total(), hub.source_rate().total());
+
+  // Both operators landed on their uniform assignments.
+  for (auto [op, p] : {std::pair<dataflow::OperatorId, uint32_t>{session_op, 5},
+                       {loyalty_op, 6}}) {
+    auto assignment = graph.key_space().UniformAssignment(p);
+    for (uint32_t kg = 0; kg < 32; ++kg) {
+      EXPECT_TRUE(
+          graph.instance(op, assignment[kg])->state()->OwnsKeyGroup(kg))
+          << "op " << op << " kg " << kg;
+    }
+  }
+
+  // New sessionize instances must have adopted the updated loyalty routing
+  // (deployment consistency): their hash edge to loyalty matches subtask 0's.
+  const auto& reference =
+      graph.FindEdgeTo(graph.instance(session_op, 0), loyalty_op)->routing;
+  for (uint32_t s = 3; s < 5; ++s) {
+    const auto& fresh =
+        graph.FindEdgeTo(graph.instance(session_op, s), loyalty_op)->routing;
+    EXPECT_EQ(fresh.targets(), reference.targets()) << "subtask " << s;
+  }
+}
+
+TEST(ConcurrentOps, ReversedOrderAlsoWorks) {
+  auto w = workloads::BuildTwitchWorkload(SmallTwitch());
+  sim::Simulator sim;
+  metrics::MetricsHub hub;
+  runtime::ExecutionGraph graph(&sim, w.graph, runtime::EngineConfig{}, &hub);
+  ASSERT_TRUE(graph.Build().ok());
+  dataflow::OperatorId session_op = graph.OperatorByName("sessionize");
+  dataflow::OperatorId loyalty_op = graph.OperatorByName("loyalty");
+  DrrsStrategy session_scaler(&graph, FullDrrsOptions(), "drrs-session");
+  DrrsStrategy loyalty_scaler(&graph, FullDrrsOptions(), "drrs-loyalty");
+  // Upstream first, downstream immediately after.
+  sim.ScheduleAt(sim::Seconds(10), [&] {
+    ASSERT_TRUE(
+        session_scaler.StartScale(PlanRescale(&graph, session_op, 5)).ok());
+  });
+  sim.ScheduleAt(sim::Seconds(10) + sim::Millis(10), [&] {
+    ASSERT_TRUE(
+        loyalty_scaler.StartScale(PlanRescale(&graph, loyalty_op, 6)).ok());
+  });
+  graph.Start();
+  sim.RunUntilIdle();
+  EXPECT_TRUE(session_scaler.done());
+  EXPECT_TRUE(loyalty_scaler.done());
+  EXPECT_TRUE(hub.invariants().Clean());
+  EXPECT_EQ(hub.sink_rate().total(), hub.source_rate().total());
+}
+
+TEST(ConcurrentOps, ScaleInUpstreamWhileDownstreamScalesOut) {
+  workloads::TwitchParams p = SmallTwitch();
+  p.session_parallelism = 4;
+  auto w = workloads::BuildTwitchWorkload(p);
+  sim::Simulator sim;
+  metrics::MetricsHub hub;
+  runtime::ExecutionGraph graph(&sim, w.graph, runtime::EngineConfig{}, &hub);
+  ASSERT_TRUE(graph.Build().ok());
+  dataflow::OperatorId session_op = graph.OperatorByName("sessionize");
+  dataflow::OperatorId loyalty_op = graph.OperatorByName("loyalty");
+  DrrsStrategy session_scaler(&graph, FullDrrsOptions(), "drrs-session");
+  DrrsStrategy loyalty_scaler(&graph, FullDrrsOptions(), "drrs-loyalty");
+  sim.ScheduleAt(sim::Seconds(10), [&] {
+    ASSERT_TRUE(
+        loyalty_scaler.StartScale(PlanRescale(&graph, loyalty_op, 6)).ok());
+    ASSERT_TRUE(
+        session_scaler.StartScale(PlanRescale(&graph, session_op, 2)).ok());
+  });
+  graph.Start();
+  sim.RunUntilIdle();
+  EXPECT_TRUE(session_scaler.done());
+  EXPECT_TRUE(loyalty_scaler.done());
+  EXPECT_TRUE(hub.invariants().Clean());
+  EXPECT_EQ(hub.sink_rate().total(), hub.source_rate().total());
+}
+
+}  // namespace
+}  // namespace drrs::scaling

@@ -1,0 +1,234 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <set>
+
+#include "dataflow/job_graph.h"
+#include "dataflow/key_space.h"
+#include "dataflow/routing_table.h"
+#include "dataflow/stream_element.h"
+
+namespace drrs::dataflow {
+namespace {
+
+// ---------------------------------------------------------------------------
+// KeySpace
+// ---------------------------------------------------------------------------
+
+TEST(KeySpace, KeyGroupStable) {
+  KeySpace ks(128);
+  for (uint64_t k = 0; k < 100; ++k) {
+    EXPECT_EQ(ks.KeyGroupOf(k), ks.KeyGroupOf(k));
+    EXPECT_LT(ks.KeyGroupOf(k), 128u);
+  }
+}
+
+TEST(KeySpace, UniformAssignmentCoversAllInstances) {
+  KeySpace ks(128);
+  auto a = ks.UniformAssignment(8);
+  ASSERT_EQ(a.size(), 128u);
+  std::set<InstanceId> used(a.begin(), a.end());
+  EXPECT_EQ(used.size(), 8u);
+  // Contiguous ranges of 16 per instance.
+  for (uint32_t kg = 0; kg < 128; ++kg) EXPECT_EQ(a[kg], kg / 16);
+}
+
+TEST(KeySpace, UniformAssignmentBalanced) {
+  KeySpace ks(128);
+  for (uint32_t p : {3, 5, 7, 12}) {
+    auto a = ks.UniformAssignment(p);
+    std::vector<int> counts(p, 0);
+    for (InstanceId i : a) ++counts[i];
+    int mn = *std::min_element(counts.begin(), counts.end());
+    int mx = *std::max_element(counts.begin(), counts.end());
+    EXPECT_LE(mx - mn, 1) << "parallelism " << p;
+  }
+}
+
+TEST(KeySpace, RescalePreservesPrefixOwnership) {
+  // With Flink's formula, growing parallelism only moves a subset of
+  // key-groups; each key-group's owner index never decreases.
+  KeySpace ks(128);
+  auto before = ks.UniformAssignment(8);
+  auto after = ks.UniformAssignment(12);
+  int moved = 0;
+  for (uint32_t kg = 0; kg < 128; ++kg) {
+    if (before[kg] != after[kg]) ++moved;
+    EXPECT_LE(before[kg], after[kg]);
+  }
+  EXPECT_GT(moved, 0);
+  EXPECT_LT(moved, 128);
+}
+
+// ---------------------------------------------------------------------------
+// RoutingTable
+// ---------------------------------------------------------------------------
+
+TEST(RoutingTable, UpdateAndLookup) {
+  RoutingTable rt({0, 0, 1, 1});
+  EXPECT_EQ(rt.TargetOf(2), 1u);
+  rt.Update(2, 3);
+  EXPECT_EQ(rt.TargetOf(2), 3u);
+  EXPECT_EQ(rt.num_key_groups(), 4u);
+}
+
+// ---------------------------------------------------------------------------
+// StreamElement
+// ---------------------------------------------------------------------------
+
+TEST(StreamElement, FactoryDefaults) {
+  StreamElement r = MakeRecord(7, 42, 100, 50, 128);
+  EXPECT_EQ(r.kind, ElementKind::kRecord);
+  EXPECT_TRUE(r.IsData());
+  EXPECT_EQ(r.WireBytes(), 128u);
+
+  StreamElement w = MakeWatermark(123);
+  EXPECT_TRUE(w.IsControl());
+  EXPECT_EQ(w.event_time, 123);
+
+  StreamElement m = MakeLatencyMarker(55);
+  EXPECT_TRUE(m.IsData());
+  EXPECT_EQ(m.create_time, 55);
+
+  StreamElement b = MakeCheckpointBarrier(9);
+  EXPECT_EQ(b.checkpoint_id, 9u);
+  EXPECT_EQ(b.WireBytes(), 64u);  // control envelope
+}
+
+TEST(StreamElement, StateChunkWireBytes) {
+  StreamElement c;
+  c.kind = ElementKind::kStateChunk;
+  c.chunk_bytes = 5555;
+  EXPECT_EQ(c.WireBytes(), 5555u);
+}
+
+TEST(StreamElement, ToStringCoversKinds) {
+  for (ElementKind k :
+       {ElementKind::kRecord, ElementKind::kLatencyMarker,
+        ElementKind::kWatermark, ElementKind::kCheckpointBarrier,
+        ElementKind::kTriggerBarrier, ElementKind::kConfirmBarrier,
+        ElementKind::kStateChunk, ElementKind::kFetchRequest,
+        ElementKind::kScaleComplete}) {
+    StreamElement e;
+    e.kind = k;
+    EXPECT_FALSE(e.ToString().empty());
+  }
+}
+
+// ---------------------------------------------------------------------------
+// JobGraph
+// ---------------------------------------------------------------------------
+
+OperatorSpec Source() {
+  OperatorSpec s;
+  s.name = "src";
+  s.parallelism = 2;
+  s.is_source = true;
+  s.source_factory = [](uint32_t, uint32_t) { return nullptr; };
+  return s;
+}
+
+OperatorSpec Middle(const std::string& name = "mid") {
+  OperatorSpec s;
+  s.name = name;
+  s.parallelism = 2;
+  s.is_stateful = true;
+  s.factory = []() { return nullptr; };
+  return s;
+}
+
+OperatorSpec Sink() {
+  OperatorSpec s;
+  s.name = "sink";
+  s.parallelism = 2;
+  s.is_sink = true;
+  return s;
+}
+
+TEST(JobGraph, ValidLinearPipeline) {
+  JobGraph g(64);
+  auto a = g.AddOperator(Source());
+  auto b = g.AddOperator(Middle());
+  auto c = g.AddOperator(Sink());
+  ASSERT_TRUE(g.Connect(a, b, Partitioning::kHash).ok());
+  ASSERT_TRUE(g.Connect(b, c, Partitioning::kRebalance).ok());
+  EXPECT_TRUE(g.Validate().ok());
+  EXPECT_EQ(g.PredecessorsOf(b), (std::vector<OperatorId>{a}));
+  EXPECT_EQ(g.SuccessorsOf(b), (std::vector<OperatorId>{c}));
+}
+
+TEST(JobGraph, RejectsUnreachableOperator) {
+  JobGraph g(64);
+  g.AddOperator(Source());
+  g.AddOperator(Middle());  // never connected
+  EXPECT_FALSE(g.Validate().ok());
+}
+
+TEST(JobGraph, RejectsSourceWithInputs) {
+  JobGraph g(64);
+  auto a = g.AddOperator(Source());
+  auto b = g.AddOperator(Source());
+  ASSERT_TRUE(g.Connect(a, b, Partitioning::kHash).ok());
+  EXPECT_FALSE(g.Validate().ok());
+}
+
+TEST(JobGraph, RejectsSelfEdge) {
+  JobGraph g(64);
+  auto a = g.AddOperator(Source());
+  EXPECT_FALSE(g.Connect(a, a, Partitioning::kHash).ok());
+}
+
+TEST(JobGraph, RejectsForwardParallelismMismatch) {
+  JobGraph g(64);
+  auto a = g.AddOperator(Source());
+  OperatorSpec mid = Middle();
+  mid.parallelism = 3;
+  auto b = g.AddOperator(std::move(mid));
+  auto c = g.AddOperator(Sink());
+  ASSERT_TRUE(g.Connect(a, b, Partitioning::kForward).ok());
+  ASSERT_TRUE(g.Connect(b, c, Partitioning::kRebalance).ok());
+  EXPECT_FALSE(g.Validate().ok());
+}
+
+TEST(JobGraph, RejectsCycle) {
+  JobGraph g(64);
+  auto a = g.AddOperator(Source());
+  auto b = g.AddOperator(Middle("m1"));
+  auto c = g.AddOperator(Middle("m2"));
+  auto d = g.AddOperator(Sink());
+  ASSERT_TRUE(g.Connect(a, b, Partitioning::kHash).ok());
+  ASSERT_TRUE(g.Connect(b, c, Partitioning::kHash).ok());
+  ASSERT_TRUE(g.Connect(c, b, Partitioning::kHash).ok());
+  ASSERT_TRUE(g.Connect(c, d, Partitioning::kHash).ok());
+  EXPECT_FALSE(g.Validate().ok());
+}
+
+TEST(JobGraph, RejectsMissingFactory) {
+  JobGraph g(64);
+  auto a = g.AddOperator(Source());
+  OperatorSpec mid;
+  mid.name = "nofactory";
+  mid.parallelism = 1;
+  auto b = g.AddOperator(std::move(mid));
+  auto c = g.AddOperator(Sink());
+  ASSERT_TRUE(g.Connect(a, b, Partitioning::kHash).ok());
+  ASSERT_TRUE(g.Connect(b, c, Partitioning::kHash).ok());
+  EXPECT_FALSE(g.Validate().ok());
+}
+
+TEST(JobGraph, RejectsZeroParallelism) {
+  JobGraph g(64);
+  OperatorSpec s = Source();
+  s.parallelism = 0;
+  g.AddOperator(std::move(s));
+  EXPECT_FALSE(g.Validate().ok());
+}
+
+TEST(JobGraph, RejectsEdgeToUnknownOperator) {
+  JobGraph g(64);
+  auto a = g.AddOperator(Source());
+  EXPECT_FALSE(g.Connect(a, 99, Partitioning::kHash).ok());
+}
+
+}  // namespace
+}  // namespace drrs::dataflow

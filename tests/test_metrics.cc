@@ -1,0 +1,218 @@
+#include <gtest/gtest.h>
+
+#include "metrics/metrics_hub.h"
+#include "metrics/timeseries.h"
+
+namespace drrs::metrics {
+namespace {
+
+// ---------------------------------------------------------------------------
+// TimeSeries
+// ---------------------------------------------------------------------------
+
+TEST(TimeSeries, RangeAggregates) {
+  TimeSeries ts;
+  ts.Push(10, 1.0);
+  ts.Push(20, 5.0);
+  ts.Push(30, 3.0);
+  EXPECT_DOUBLE_EQ(ts.MaxIn(0, 100), 5.0);
+  EXPECT_DOUBLE_EQ(ts.MeanIn(0, 100), 3.0);
+  EXPECT_DOUBLE_EQ(ts.MaxIn(25, 100), 3.0);
+  EXPECT_DOUBLE_EQ(ts.MeanIn(15, 25), 5.0);
+  EXPECT_DOUBLE_EQ(ts.MaxIn(40, 100), 0.0);  // empty window
+}
+
+TEST(TimeSeries, BoundsAreInclusive) {
+  TimeSeries ts;
+  ts.Push(10, 2.0);
+  EXPECT_DOUBLE_EQ(ts.MaxIn(10, 10), 2.0);
+}
+
+TEST(TimeSeries, Quantiles) {
+  TimeSeries ts;
+  for (int i = 1; i <= 100; ++i) ts.Push(i, i);
+  EXPECT_NEAR(ts.QuantileIn(0.5, 0, 1000), 50.5, 0.6);
+  EXPECT_NEAR(ts.QuantileIn(0.99, 0, 1000), 99.0, 1.1);
+  EXPECT_DOUBLE_EQ(ts.QuantileIn(0.0, 0, 1000), 1.0);
+  EXPECT_DOUBLE_EQ(ts.QuantileIn(1.0, 0, 1000), 100.0);
+}
+
+TEST(TimeSeries, BucketedMean) {
+  TimeSeries ts;
+  ts.Push(0, 1);
+  ts.Push(50, 3);
+  ts.Push(100, 10);
+  auto buckets = ts.Bucketed(100);
+  ASSERT_EQ(buckets.size(), 2u);
+  EXPECT_DOUBLE_EQ(buckets[0].value, 2.0);   // mean of 1,3
+  EXPECT_DOUBLE_EQ(buckets[1].value, 10.0);
+}
+
+TEST(TimeSeries, BucketedMax) {
+  TimeSeries ts;
+  ts.Push(0, 1);
+  ts.Push(50, 3);
+  auto buckets = ts.Bucketed(100, /*use_max=*/true);
+  ASSERT_EQ(buckets.size(), 1u);
+  EXPECT_DOUBLE_EQ(buckets[0].value, 3.0);
+}
+
+TEST(RateCounter, RatesPerSecond) {
+  RateCounter rc(sim::Seconds(1));
+  for (int i = 0; i < 500; ++i) rc.Add(sim::Millis(i));           // bucket 0
+  for (int i = 0; i < 100; ++i) rc.Add(sim::Seconds(1) + i * 10); // bucket 1
+  EXPECT_EQ(rc.total(), 600u);
+  TimeSeries rates = rc.ToRateSeries();
+  ASSERT_EQ(rates.size(), 2u);
+  EXPECT_DOUBLE_EQ(rates.samples()[0].value, 500.0);
+  EXPECT_DOUBLE_EQ(rates.samples()[1].value, 100.0);
+}
+
+// ---------------------------------------------------------------------------
+// ScalingMetrics
+// ---------------------------------------------------------------------------
+
+TEST(ScalingMetrics, PropagationDelayPerSignal) {
+  ScalingMetrics sm;
+  sm.RecordSignalInjection(0, 100);
+  sm.RecordFirstMigration(0, 150);
+  sm.RecordSignalInjection(1, 200);
+  sm.RecordFirstMigration(1, 500);
+  EXPECT_EQ(sm.CumulativePropagationDelay(), 50 + 300);
+}
+
+TEST(ScalingMetrics, FirstMigrationOnlyCountsOnce) {
+  ScalingMetrics sm;
+  sm.RecordSignalInjection(0, 100);
+  sm.RecordFirstMigration(0, 150);
+  sm.RecordFirstMigration(0, 900);  // later migrations don't move the mark
+  EXPECT_EQ(sm.CumulativePropagationDelay(), 50);
+}
+
+TEST(ScalingMetrics, DependencyOverheadAveragesPerState) {
+  ScalingMetrics sm;
+  sm.RecordSignalInjection(0, 100);
+  sm.RecordStateMigrated(0, 1, 200);  // delta 100
+  sm.RecordStateMigrated(0, 2, 400);  // delta 300
+  EXPECT_DOUBLE_EQ(sm.AverageDependencyOverheadUs(), 200.0);
+}
+
+TEST(ScalingMetrics, DependencyFallsBackToScaleStart) {
+  ScalingMetrics sm;
+  sm.RecordScaleStart(50);
+  sm.RecordStateMigrated(7, 1, 150);  // unknown signal: measured from start
+  EXPECT_DOUBLE_EQ(sm.AverageDependencyOverheadUs(), 100.0);
+}
+
+TEST(ScalingMetrics, SuspensionAccumulates) {
+  ScalingMetrics sm;
+  sm.RecordStall(StallReason::kAwaitingState, 100, 150);
+  sm.RecordStall(StallReason::kAlignment, 200, 230);
+  sm.RecordStall(StallReason::kBackpressure, 0, 1000);  // tracked separately
+  EXPECT_EQ(sm.CumulativeSuspension(), 80);
+  EXPECT_EQ(sm.BackpressureTime(), 1000);
+  TimeSeries series = sm.SuspensionSeries();
+  ASSERT_EQ(series.size(), 2u);
+  EXPECT_DOUBLE_EQ(series.samples().back().value, 0.08);  // 80us in ms
+}
+
+TEST(ScalingMetrics, ZeroLengthStallsIgnored) {
+  ScalingMetrics sm;
+  sm.RecordStall(StallReason::kAwaitingState, 100, 100);
+  EXPECT_EQ(sm.CumulativeSuspension(), 0);
+}
+
+TEST(ScalingMetrics, UnitTransferStats) {
+  ScalingMetrics sm;
+  sm.RecordUnitTransfer(1, 0);
+  sm.RecordUnitTransfer(1, 0);
+  sm.RecordUnitTransfer(1, 0);
+  sm.RecordUnitTransfer(2, 1);
+  auto stats = sm.UnitTransferStats();
+  EXPECT_EQ(stats.units, 2u);
+  EXPECT_EQ(stats.total_transfers, 4u);
+  EXPECT_EQ(stats.max_transfers, 3u);
+  EXPECT_DOUBLE_EQ(stats.avg_transfers, 2.0);
+}
+
+// ---------------------------------------------------------------------------
+// InvariantMonitor
+// ---------------------------------------------------------------------------
+
+TEST(InvariantMonitor, DetectsOrderViolation) {
+  InvariantMonitor inv;
+  inv.CheckOrder(1, 2, 42, 1);
+  inv.CheckOrder(1, 2, 42, 2);
+  inv.CheckOrder(1, 2, 42, 5);
+  EXPECT_TRUE(inv.Clean());
+  inv.CheckOrder(1, 2, 42, 3);  // regression
+  EXPECT_EQ(inv.order_violations, 1u);
+}
+
+TEST(InvariantMonitor, DetectsDuplicate) {
+  InvariantMonitor inv;
+  inv.CheckOrder(1, 2, 42, 7);
+  inv.CheckOrder(1, 2, 42, 7);
+  EXPECT_EQ(inv.duplicate_processing, 1u);
+  EXPECT_EQ(inv.order_violations, 0u);
+}
+
+TEST(InvariantMonitor, StreamsAreIndependent) {
+  InvariantMonitor inv;
+  inv.CheckOrder(1, 2, 42, 5);
+  inv.CheckOrder(1, 3, 42, 1);  // same key, different sender: fresh stream
+  inv.CheckOrder(2, 2, 42, 1);  // different consumer operator
+  EXPECT_TRUE(inv.Clean());
+}
+
+// ---------------------------------------------------------------------------
+// Restabilization detection (the paper's 110%-for-100s rule)
+// ---------------------------------------------------------------------------
+
+TEST(Restabilization, FindsRecoveryPoint) {
+  TimeSeries lat;
+  // Baseline 10ms until t=100s; spike to 100ms until 150s; then 10ms again.
+  for (int t = 0; t < 300; ++t) {
+    double v = (t >= 100 && t < 150) ? 100.0 : 10.0;
+    lat.Push(sim::Seconds(t), v);
+  }
+  sim::SimTime restab = DetectRestabilization(
+      lat, sim::Seconds(100), 11.0, sim::Seconds(100));
+  EXPECT_EQ(restab, sim::Seconds(149));
+}
+
+TEST(Restabilization, NeverDestabilizedReturnsScaleStart) {
+  TimeSeries lat;
+  for (int t = 0; t < 300; ++t) lat.Push(sim::Seconds(t), 10.0);
+  sim::SimTime restab = DetectRestabilization(
+      lat, sim::Seconds(100), 11.0, sim::Seconds(50));
+  EXPECT_EQ(restab, sim::Seconds(100));
+}
+
+TEST(Restabilization, NeverRecoveredReturnsLastSample) {
+  TimeSeries lat;
+  for (int t = 0; t < 200; ++t) {
+    lat.Push(sim::Seconds(t), t < 100 ? 10.0 : 100.0);
+  }
+  sim::SimTime restab = DetectRestabilization(
+      lat, sim::Seconds(100), 11.0, sim::Seconds(50));
+  EXPECT_EQ(restab, sim::Seconds(199));
+}
+
+TEST(Restabilization, HoldWindowMustBeQuiet) {
+  TimeSeries lat;
+  // Recovers at 150 but blips at 170; with a 100s hold the blip defers
+  // restabilization to 170.
+  for (int t = 0; t < 400; ++t) {
+    double v = 10.0;
+    if (t >= 100 && t < 150) v = 100.0;
+    if (t == 170) v = 50.0;
+    lat.Push(sim::Seconds(t), v);
+  }
+  sim::SimTime restab = DetectRestabilization(
+      lat, sim::Seconds(100), 11.0, sim::Seconds(100));
+  EXPECT_EQ(restab, sim::Seconds(170));
+}
+
+}  // namespace
+}  // namespace drrs::metrics

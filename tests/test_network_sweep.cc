@@ -1,0 +1,136 @@
+#include <gtest/gtest.h>
+
+#include <string>
+#include <tuple>
+
+#include "harness/experiment.h"
+#include "workloads/workloads.h"
+
+namespace drrs {
+namespace {
+
+using harness::ExperimentConfig;
+using harness::RunExperiment;
+using harness::SystemKind;
+
+// Robustness sweep: the scaling protocols must stay correct across the
+// network-parameter space — slow/fast links, tiny/huge credit windows,
+// shallow/deep sender caches. Timing-dependent bugs (lost wakeups, epoch
+// races, credit deadlocks) tend to surface at the extremes.
+
+struct NetCase {
+  sim::SimTime latency;
+  double bandwidth;         // bytes/us
+  size_t input_capacity;    // credit window
+  size_t output_capacity;   // sender cache
+  SystemKind system;
+};
+
+std::string NetCaseName(const ::testing::TestParamInfo<NetCase>& info) {
+  const NetCase& c = info.param;
+  std::string sys = harness::SystemName(c.system);
+  for (char& ch : sys) {
+    if (ch == '-') ch = '_';
+  }
+  return sys + "_lat" + std::to_string(c.latency) + "_bw" +
+         std::to_string(static_cast<int>(c.bandwidth)) + "_in" +
+         std::to_string(c.input_capacity) + "_out" +
+         std::to_string(c.output_capacity);
+}
+
+class NetworkSweep : public ::testing::TestWithParam<NetCase> {};
+
+TEST_P(NetworkSweep, ScalingStaysCorrect) {
+  const NetCase& c = GetParam();
+  workloads::CustomParams p;
+  p.events_per_second = 1200;
+  p.num_keys = 500;
+  p.duration = sim::Seconds(20);
+  p.record_cost = sim::Micros(500);
+  p.agg_parallelism = 3;
+  p.num_key_groups = 24;
+  p.state_bytes_per_key = 4096;
+  auto w = workloads::BuildCustomWorkload(p);
+
+  ExperimentConfig cfg;
+  cfg.system = c.system;
+  cfg.target_parallelism = 5;
+  cfg.scale_at = sim::Seconds(8);
+  cfg.restab_hold = sim::Seconds(3);
+  cfg.engine.net.base_latency = c.latency;
+  cfg.engine.net.bandwidth_bytes_per_us = c.bandwidth;
+  cfg.engine.net.input_buffer_capacity = c.input_capacity;
+  cfg.engine.net.output_buffer_capacity = c.output_capacity;
+
+  auto r = RunExperiment(w, cfg);
+  EXPECT_GT(r.mechanism_duration, 0);
+  EXPECT_EQ(r.sink_records, r.source_records);
+  EXPECT_EQ(r.invariants.order_violations, 0u);
+  EXPECT_EQ(r.invariants.duplicate_processing, 0u);
+  EXPECT_EQ(r.invariants.state_miss_processing, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    LinkParameterSpace, NetworkSweep,
+    ::testing::Values(
+        // Fast LAN, defaults elsewhere.
+        NetCase{sim::Micros(50), 1250.0, 64, 256, SystemKind::kDrrs},
+        // Slow WAN-ish link: deep in-flight sections.
+        NetCase{sim::Millis(5), 12.5, 64, 256, SystemKind::kDrrs},
+        // Tiny credit window: transmission constantly gated.
+        NetCase{sim::Micros(500), 125.0, 4, 256, SystemKind::kDrrs},
+        // Huge credit window: everything in flight at once.
+        NetCase{sim::Micros(500), 125.0, 1024, 2048, SystemKind::kDrrs},
+        // Shallow sender cache: backpressure trips constantly; also the
+        // output-cache redirection window shrinks to almost nothing.
+        NetCase{sim::Micros(500), 125.0, 16, 16, SystemKind::kDrrs},
+        // Deep sender cache: large redirection batches at injection.
+        NetCase{sim::Micros(500), 125.0, 64, 4096, SystemKind::kDrrs},
+        // The same extremes for the coupled-signal path (Megaphone mode).
+        NetCase{sim::Millis(5), 12.5, 64, 256, SystemKind::kMegaphone},
+        NetCase{sim::Micros(500), 125.0, 4, 16, SystemKind::kMegaphone},
+        // OTFS under slow links: multi-hop alignment with deep queues.
+        NetCase{sim::Millis(5), 12.5, 64, 256, SystemKind::kOtfsFluid},
+        NetCase{sim::Micros(500), 125.0, 4, 16, SystemKind::kOtfsAllAtOnce},
+        // Stop-restart relies on in-flight data landing within the downtime.
+        NetCase{sim::Millis(5), 12.5, 64, 256, SystemKind::kStopRestart}),
+    NetCaseName);
+
+// Meces separately (order relaxation allowed, exactly-once still required).
+class MecesNetworkSweep : public ::testing::TestWithParam<NetCase> {};
+
+TEST_P(MecesNetworkSweep, ExactlyOnceAcrossLinkSpace) {
+  const NetCase& c = GetParam();
+  workloads::CustomParams p;
+  p.events_per_second = 1200;
+  p.num_keys = 500;
+  p.duration = sim::Seconds(20);
+  p.record_cost = sim::Micros(500);
+  p.agg_parallelism = 3;
+  p.num_key_groups = 24;
+  auto w = workloads::BuildCustomWorkload(p);
+  ExperimentConfig cfg;
+  cfg.system = SystemKind::kMeces;
+  cfg.target_parallelism = 5;
+  cfg.scale_at = sim::Seconds(8);
+  cfg.restab_hold = sim::Seconds(3);
+  cfg.engine.net.base_latency = c.latency;
+  cfg.engine.net.bandwidth_bytes_per_us = c.bandwidth;
+  cfg.engine.net.input_buffer_capacity = c.input_capacity;
+  cfg.engine.net.output_buffer_capacity = c.output_capacity;
+  auto r = RunExperiment(w, cfg);
+  EXPECT_GT(r.mechanism_duration, 0);
+  EXPECT_EQ(r.sink_records, r.source_records);
+  EXPECT_EQ(r.invariants.duplicate_processing, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    LinkParameterSpace, MecesNetworkSweep,
+    ::testing::Values(
+        NetCase{sim::Micros(50), 1250.0, 64, 256, SystemKind::kMeces},
+        NetCase{sim::Millis(5), 12.5, 64, 256, SystemKind::kMeces},
+        NetCase{sim::Micros(500), 125.0, 4, 16, SystemKind::kMeces}),
+    NetCaseName);
+
+}  // namespace
+}  // namespace drrs

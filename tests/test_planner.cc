@@ -1,0 +1,155 @@
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "dataflow/key_space.h"
+#include "scaling/planner.h"
+
+namespace drrs::scaling {
+namespace {
+
+TEST(Planner, UniformPlanMatchesPaperSetup) {
+  // Section V-B: scaling 8 -> 12 with 128 key-groups migrates 111 of them.
+  dataflow::KeySpace ks(128);
+  ScalePlan plan = Planner::UniformPlan(0, ks, 8, 12);
+  EXPECT_EQ(plan.old_parallelism, 8u);
+  EXPECT_EQ(plan.new_parallelism, 12u);
+  EXPECT_EQ(plan.migrations.size(), 111u);
+}
+
+TEST(Planner, SensitivitySetupMigrates229) {
+  // Section V-D: 256 key-groups, 25 -> 30 instances migrates 229.
+  dataflow::KeySpace ks(256);
+  ScalePlan plan = Planner::UniformPlan(0, ks, 25, 30);
+  EXPECT_EQ(plan.migrations.size(), 229u);
+}
+
+TEST(Planner, ExplicitPlanOnlyListsMoves) {
+  ScalePlan plan = Planner::ExplicitPlan(3, {0, 0, 1, 1}, {0, 1, 1, 2});
+  EXPECT_EQ(plan.op, 3u);
+  ASSERT_EQ(plan.migrations.size(), 2u);
+  EXPECT_EQ(plan.migrations[0].key_group, 1u);
+  EXPECT_EQ(plan.migrations[0].from, 0u);
+  EXPECT_EQ(plan.migrations[0].to, 1u);
+  EXPECT_EQ(plan.migrations[1].key_group, 3u);
+  EXPECT_EQ(plan.new_parallelism, 3u);
+}
+
+TEST(Planner, SubscalesHaveSinglePath) {
+  dataflow::KeySpace ks(128);
+  ScalePlan plan = Planner::UniformPlan(0, ks, 8, 12);
+  auto subscales = Planner::DivideSubscales(plan, 8);
+  std::set<dataflow::KeyGroupId> covered;
+  for (const Subscale& s : subscales) {
+    EXPECT_LE(s.key_groups.size(), 8u);
+    EXPECT_FALSE(s.key_groups.empty());
+    EXPECT_NE(s.from, s.to);
+    for (auto kg : s.key_groups) EXPECT_TRUE(covered.insert(kg).second);
+  }
+  EXPECT_EQ(covered.size(), plan.migrations.size());
+  // Ids are unique and dense.
+  std::set<dataflow::SubscaleId> ids;
+  for (const Subscale& s : subscales) EXPECT_TRUE(ids.insert(s.id).second);
+}
+
+TEST(Planner, SubscaleSizeOneIsNaiveDivision) {
+  dataflow::KeySpace ks(32);
+  ScalePlan plan = Planner::UniformPlan(0, ks, 4, 6);
+  auto subscales = Planner::DivideSubscales(plan, 1);
+  EXPECT_EQ(subscales.size(), plan.migrations.size());
+}
+
+TEST(Planner, SubscaleZeroUnlimited) {
+  dataflow::KeySpace ks(128);
+  ScalePlan plan = Planner::UniformPlan(0, ks, 8, 12);
+  auto subscales = Planner::DivideSubscales(plan, 1u << 30);
+  // One subscale per distinct (from,to) path.
+  std::set<std::pair<uint32_t, uint32_t>> paths;
+  for (const Migration& m : plan.migrations) paths.insert({m.from, m.to});
+  EXPECT_EQ(subscales.size(), paths.size());
+}
+
+TEST(Planner, GreedyOrderPrioritizesEmptyInstances) {
+  dataflow::KeySpace ks(128);
+  ScalePlan plan = Planner::UniformPlan(0, ks, 8, 12);
+  auto subscales = Planner::DivideSubscales(plan, 8);
+  auto order = Planner::GreedyOrder(plan, subscales);
+  ASSERT_EQ(order.size(), subscales.size());
+  // A permutation.
+  std::set<size_t> seen(order.begin(), order.end());
+  EXPECT_EQ(seen.size(), order.size());
+  // The first pick targets a brand-new (empty) instance, "rapidly involving
+  // new instances in the computation" (Section IV-A).
+  EXPECT_GE(subscales[order[0]].to, 8u);
+}
+
+TEST(Planner, GreedyOrderSpreadsAcrossDestinations) {
+  dataflow::KeySpace ks(128);
+  ScalePlan plan = Planner::UniformPlan(0, ks, 8, 12);
+  auto subscales = Planner::DivideSubscales(plan, 4);
+  auto order = Planner::GreedyOrder(plan, subscales);
+  // Among the first 4 picks, at least 3 distinct destinations (the greedy
+  // rule balances the fewest-held-keys instances).
+  std::set<uint32_t> first_dests;
+  for (size_t i = 0; i < 4 && i < order.size(); ++i) {
+    first_dests.insert(subscales[order[i]].to);
+  }
+  EXPECT_GE(first_dests.size(), 3u);
+}
+
+TEST(Planner, BalancedPlanEvensOutSkewedWeights) {
+  // One giant key-group plus uniform small ones: the uniform range
+  // assignment would pair the giant with others; the balanced plan isolates
+  // it and spreads the rest.
+  std::vector<uint32_t> current(16, 0);
+  for (size_t kg = 0; kg < 16; ++kg) current[kg] = kg / 8;  // 2 instances
+  std::vector<double> weights(16, 10.0);
+  weights[3] = 200.0;
+  ScalePlan plan = Planner::BalancedPlan(0, current, weights, 4);
+  // Compute resulting per-instance load.
+  std::vector<double> load(4, 0);
+  for (size_t kg = 0; kg < 16; ++kg) load[plan.new_assignment[kg]] += weights[kg];
+  double mx = *std::max_element(load.begin(), load.end());
+  // Optimal max load: the giant key-group alone (200); allow small slack.
+  EXPECT_LE(mx, 200.0 + 10.0);
+  // The giant key-group sits alone or nearly alone.
+  uint32_t giant_owner = plan.new_assignment[3];
+  double giant_load = load[giant_owner];
+  EXPECT_LE(giant_load - 200.0, 10.0);
+}
+
+TEST(Planner, BalancedPlanStickinessReducesMigrations) {
+  std::vector<uint32_t> current(32);
+  for (size_t kg = 0; kg < 32; ++kg) current[kg] = kg % 4;
+  std::vector<double> weights(32, 1.0);
+  ScalePlan loose = Planner::BalancedPlan(0, current, weights, 4, 0.0);
+  ScalePlan sticky = Planner::BalancedPlan(0, current, weights, 4, 0.5);
+  EXPECT_LE(sticky.migrations.size(), loose.migrations.size());
+  // With uniform weights and matching parallelism, stickiness should keep
+  // almost everything in place.
+  EXPECT_LE(sticky.migrations.size(), 4u);
+}
+
+TEST(Planner, BalancedPlanCoversAllInstances) {
+  std::vector<uint32_t> current(64, 0);
+  std::vector<double> weights(64, 1.0);
+  ScalePlan plan = Planner::BalancedPlan(0, current, weights, 8);
+  std::set<uint32_t> used(plan.new_assignment.begin(),
+                          plan.new_assignment.end());
+  EXPECT_EQ(used.size(), 8u);
+  EXPECT_EQ(plan.new_parallelism, 8u);
+}
+
+TEST(Planner, ScaleInPlan) {
+  dataflow::KeySpace ks(64);
+  ScalePlan plan = Planner::UniformPlan(0, ks, 6, 4);
+  EXPECT_GT(plan.migrations.size(), 0u);
+  for (const Migration& m : plan.migrations) {
+    EXPECT_LT(m.to, 4u);   // targets fit the smaller deployment
+    EXPECT_LT(m.from, 6u);
+  }
+}
+
+}  // namespace
+}  // namespace drrs::scaling

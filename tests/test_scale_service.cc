@@ -1,0 +1,114 @@
+#include <gtest/gtest.h>
+
+#include "scaling/scale_service.h"
+#include "sim/simulator.h"
+#include "workloads/workloads.h"
+
+namespace drrs::scaling {
+namespace {
+
+struct ServiceRig {
+  ServiceRig() {
+    workloads::TwitchParams p;
+    p.events_per_second = 1500;
+    p.num_users = 3000;
+    p.user_skew = 0.5;
+    p.duration = sim::Seconds(30);
+    p.session_parallelism = 3;
+    p.loyalty_parallelism = 4;
+    p.num_key_groups = 32;
+    p.record_cost = sim::Micros(300);
+    workload = workloads::BuildTwitchWorkload(p);
+    graph = std::make_unique<runtime::ExecutionGraph>(
+        &sim, workload.graph, runtime::EngineConfig{}, &hub);
+    EXPECT_TRUE(graph->Build().ok());
+  }
+  sim::Simulator sim;
+  metrics::MetricsHub hub;
+  workloads::WorkloadSpec workload{"", dataflow::JobGraph(1), 0};
+  std::unique_ptr<runtime::ExecutionGraph> graph;
+};
+
+TEST(ScaleService, RescalesOnRequest) {
+  ServiceRig rig;
+  ScaleService service(rig.graph.get());
+  rig.sim.ScheduleAt(sim::Seconds(10), [&] {
+    ASSERT_TRUE(service.RequestRescale(rig.workload.scaled_op, 6).ok());
+    EXPECT_FALSE(service.idle());
+  });
+  rig.graph->Start();
+  rig.sim.RunUntilIdle();
+  EXPECT_TRUE(service.idle());
+  EXPECT_EQ(rig.graph->parallelism_of(rig.workload.scaled_op), 6u);
+  EXPECT_TRUE(rig.hub.invariants().Clean());
+}
+
+TEST(ScaleService, RejectsInvalidTargets) {
+  ServiceRig rig;
+  ScaleService service(rig.graph.get());
+  EXPECT_FALSE(service.RequestRescale(99, 4).ok());  // unknown operator
+  EXPECT_FALSE(service.RequestRescale(0, 4).ok());   // source
+  EXPECT_FALSE(
+      service.RequestRescale(rig.graph->OperatorByName("sink"), 4).ok());
+  EXPECT_FALSE(service.RequestRescale(rig.workload.scaled_op, 0).ok());
+  EXPECT_EQ(service.strategy_for(rig.workload.scaled_op), nullptr);
+}
+
+TEST(ScaleService, ConcurrentOperatorsAndSupersession) {
+  ServiceRig rig;
+  ScaleService service(rig.graph.get());
+  dataflow::OperatorId session = rig.graph->OperatorByName("sessionize");
+  dataflow::OperatorId loyalty = rig.workload.scaled_op;
+  rig.sim.ScheduleAt(sim::Seconds(10), [&] {
+    ASSERT_TRUE(service.RequestRescale(loyalty, 6).ok());
+    ASSERT_TRUE(service.RequestRescale(session, 5).ok());
+  });
+  // Supersede loyalty's in-flight scale shortly after (Section IV-B).
+  rig.sim.ScheduleAt(sim::Seconds(10) + sim::Millis(20), [&] {
+    ASSERT_TRUE(service.RequestRescale(loyalty, 8).ok());
+  });
+  rig.graph->Start();
+  rig.sim.RunUntilIdle();
+  EXPECT_TRUE(service.idle());
+  EXPECT_TRUE(rig.hub.invariants().Clean());
+  // Final deployments reflect the latest requests.
+  auto loyal_assign = rig.graph->key_space().UniformAssignment(8);
+  for (uint32_t kg = 0; kg < 32; ++kg) {
+    EXPECT_TRUE(rig.graph->instance(loyalty, loyal_assign[kg])
+                    ->state()
+                    ->OwnsKeyGroup(kg));
+  }
+  auto sess_assign = rig.graph->key_space().UniformAssignment(5);
+  for (uint32_t kg = 0; kg < 32; ++kg) {
+    EXPECT_TRUE(rig.graph->instance(session, sess_assign[kg])
+                    ->state()
+                    ->OwnsKeyGroup(kg));
+  }
+}
+
+TEST(ScaleService, BalancedPlannerOption) {
+  ServiceRig rig;
+  ScaleService::Options options;
+  options.use_balanced_plan = true;
+  ScaleService service(rig.graph.get(), options);
+  rig.sim.ScheduleAt(sim::Seconds(10), [&] {
+    ASSERT_TRUE(service.RequestRescale(rig.workload.scaled_op, 6).ok());
+  });
+  rig.graph->Start();
+  rig.sim.RunUntilIdle();
+  EXPECT_TRUE(service.idle());
+  EXPECT_TRUE(rig.hub.invariants().Clean());
+  // Every key-group has exactly one owner among the 6 instances.
+  for (uint32_t kg = 0; kg < 32; ++kg) {
+    int owners = 0;
+    for (uint32_t i = 0; i < 6; ++i) {
+      owners += rig.graph->instance(rig.workload.scaled_op, i)
+                    ->state()
+                    ->OwnsKeyGroup(kg);
+    }
+    EXPECT_EQ(owners, 1) << "kg " << kg;
+  }
+}
+
+}  // namespace
+}  // namespace drrs::scaling

@@ -1,0 +1,316 @@
+#include <gtest/gtest.h>
+
+#include "harness/experiment.h"
+#include "scaling/meces.h"
+#include "scaling/otfs.h"
+#include "scaling/planner.h"
+#include "scaling/stop_restart.h"
+#include "scaling/strategy.h"
+#include "scaling/unbound.h"
+#include "workloads/workloads.h"
+
+namespace drrs::scaling {
+namespace {
+
+using harness::ExperimentConfig;
+using harness::RunExperiment;
+using harness::SystemKind;
+using workloads::BuildCustomWorkload;
+using workloads::BuildTwitchWorkload;
+using workloads::CustomParams;
+
+CustomParams SmallParams() {
+  CustomParams p;
+  p.events_per_second = 2000;
+  p.num_keys = 1000;
+  p.duration = sim::Seconds(30);
+  p.record_cost = sim::Micros(150);
+  p.source_parallelism = 2;
+  p.agg_parallelism = 4;
+  p.sink_parallelism = 1;
+  p.num_key_groups = 32;
+  p.state_bytes_per_key = 2048;
+  return p;
+}
+
+ExperimentConfig ScaleConfig(SystemKind kind, uint32_t target = 6) {
+  ExperimentConfig c;
+  c.system = kind;
+  c.target_parallelism = target;
+  c.scale_at = sim::Seconds(10);
+  c.restab_hold = sim::Seconds(5);
+  return c;
+}
+
+struct Fixture {
+  explicit Fixture(const CustomParams& params)
+      : workload(BuildCustomWorkload(params)),
+        graph(&sim, workload.graph, runtime::EngineConfig{}, &hub) {
+    EXPECT_TRUE(graph.Build().ok());
+  }
+  void RunWithScale(ScalingStrategy* strategy, uint32_t target) {
+    sim.ScheduleAt(sim::Seconds(10), [this, strategy, target] {
+      ASSERT_TRUE(
+          strategy->StartScale(PlanRescale(&graph, workload.scaled_op, target))
+              .ok());
+    });
+    graph.Start();
+    sim.RunUntilIdle();
+  }
+  void ExpectOwnershipMatchesUniform(uint32_t parallelism) {
+    auto assignment = graph.key_space().UniformAssignment(parallelism);
+    for (uint32_t kg = 0; kg < graph.key_space().num_key_groups(); ++kg) {
+      EXPECT_TRUE(graph.instance(workload.scaled_op, assignment[kg])
+                      ->state()
+                      ->OwnsKeyGroup(kg))
+          << "key-group " << kg;
+    }
+  }
+
+  sim::Simulator sim;
+  metrics::MetricsHub hub;
+  workloads::WorkloadSpec workload;
+  runtime::ExecutionGraph graph;
+};
+
+// ---------------------------------------------------------------------------
+// Generalized OTFS (Fig 1)
+// ---------------------------------------------------------------------------
+
+TEST(Otfs, FluidMigrationIsCorrect) {
+  auto w = BuildCustomWorkload(SmallParams());
+  auto r = RunExperiment(w, ScaleConfig(SystemKind::kOtfsFluid));
+  EXPECT_GT(r.mechanism_duration, 0);
+  EXPECT_EQ(r.invariants.order_violations, 0u);
+  EXPECT_EQ(r.invariants.duplicate_processing, 0u);
+  EXPECT_EQ(r.invariants.state_miss_processing, 0u);
+  EXPECT_EQ(r.sink_records, r.source_records);
+}
+
+TEST(Otfs, AllAtOnceMigrationIsCorrect) {
+  auto w = BuildCustomWorkload(SmallParams());
+  auto r = RunExperiment(w, ScaleConfig(SystemKind::kOtfsAllAtOnce));
+  EXPECT_GT(r.mechanism_duration, 0);
+  EXPECT_TRUE(r.invariants.Clean());
+  EXPECT_EQ(r.sink_records, r.source_records);
+}
+
+TEST(Otfs, MovesStateToPlan) {
+  Fixture f(SmallParams());
+  OtfsStrategy strategy(&f.graph, OtfsStrategy::MigrationMode::kFluid);
+  f.RunWithScale(&strategy, 6);
+  ASSERT_TRUE(strategy.done());
+  f.ExpectOwnershipMatchesUniform(6);
+  EXPECT_TRUE(f.hub.invariants().Clean());
+  // Hooks removed from every task (upstream forwarders included).
+  for (size_t i = 0; i < f.graph.task_count(); ++i) {
+    EXPECT_EQ(f.graph.task(static_cast<dataflow::InstanceId>(i))->hook(),
+              nullptr);
+  }
+}
+
+TEST(Otfs, SourceInjectedSignalTraversesTopology) {
+  // In the Twitch job the scaled operator (loyalty) sits four hops from the
+  // source, so the barrier must align through parse/filter/sessionize.
+  workloads::TwitchParams tw;
+  tw.events_per_second = 1500;
+  tw.duration = sim::Seconds(25);
+  tw.num_users = 2000;
+  tw.state_padding_bytes = 512;
+  tw.loyalty_parallelism = 4;
+  tw.num_key_groups = 32;
+  tw.record_cost = sim::Micros(150);
+  auto w = BuildTwitchWorkload(tw);
+  auto r = RunExperiment(w, ScaleConfig(SystemKind::kOtfsFluid));
+  EXPECT_GT(r.mechanism_duration, 0);
+  EXPECT_TRUE(r.invariants.Clean());
+  // Propagation delay includes multi-hop alignment: strictly positive.
+  EXPECT_GT(r.cumulative_propagation, 0);
+}
+
+TEST(Otfs, FluidResumesEarlierThanAllAtOnce) {
+  // Fluid migration lets "each state resume processing immediately upon
+  // arrival, rather than awaiting all remaining states" (Section II-B):
+  // the new instance processes its first record strictly earlier than under
+  // all-at-once batch semantics.
+  // Single migration path (1 -> 2 moves one contiguous block) so the batch
+  // boundary is unambiguous: fluid unlocks after the first chunk, batch only
+  // after the whole block.
+  CustomParams p = SmallParams();
+  p.agg_parallelism = 1;
+  p.record_cost = sim::Micros(300);
+  p.state_bytes_per_key = 16384;  // make migration time matter
+  auto first_processing = [&](OtfsStrategy::MigrationMode mode) {
+    Fixture f(p);
+    OtfsStrategy strategy(&f.graph, mode);
+    f.sim.ScheduleAt(sim::Seconds(10), [&] {
+      ASSERT_TRUE(
+          strategy.StartScale(PlanRescale(&f.graph, f.workload.scaled_op, 2))
+              .ok());
+    });
+    f.graph.Start();
+    runtime::Task* fresh = nullptr;
+    sim::SimTime first = -1;
+    while (f.sim.Step()) {
+      if (fresh == nullptr &&
+          f.graph.parallelism_of(f.workload.scaled_op) > 1) {
+        fresh = f.graph.instance(f.workload.scaled_op, 1);
+      }
+      if (fresh != nullptr && first < 0 && fresh->processed_records() > 0) {
+        first = f.sim.now();
+      }
+    }
+    EXPECT_GE(first, 0);
+    return first;
+  };
+  sim::SimTime fluid = first_processing(OtfsStrategy::MigrationMode::kFluid);
+  sim::SimTime batch =
+      first_processing(OtfsStrategy::MigrationMode::kAllAtOnce);
+  EXPECT_LT(fluid, batch);
+}
+
+// ---------------------------------------------------------------------------
+// Meces
+// ---------------------------------------------------------------------------
+
+TEST(Meces, CompletesWithExactlyOnce) {
+  auto w = BuildCustomWorkload(SmallParams());
+  auto r = RunExperiment(w, ScaleConfig(SystemKind::kMeces));
+  EXPECT_GT(r.mechanism_duration, 0);
+  // Meces preserves exactly-once but not execution order (Section II-B);
+  // duplicates must be zero, order violations may be > 0.
+  EXPECT_EQ(r.invariants.duplicate_processing, 0u);
+  EXPECT_EQ(r.sink_records, r.source_records);
+}
+
+TEST(Meces, StateEndsAtDestination) {
+  Fixture f(SmallParams());
+  MecesStrategy strategy(&f.graph);
+  f.RunWithScale(&strategy, 6);
+  ASSERT_TRUE(strategy.done());
+  f.ExpectOwnershipMatchesUniform(6);
+}
+
+TEST(Meces, FetchOnDemandCausesBackAndForth) {
+  // Under overload, in-flight records at the source instances need state
+  // that already moved, producing repeated unit transfers (Section V-B).
+  CustomParams p = SmallParams();
+  p.record_cost = sim::Micros(2200);  // bottleneck: backlog at scale time
+  p.state_bytes_per_key = 8192;
+  auto w = BuildCustomWorkload(p);
+  auto r = RunExperiment(w, ScaleConfig(SystemKind::kMeces));
+  EXPECT_GT(r.transfers.total_transfers, r.transfers.units);
+  EXPECT_GT(r.transfers.avg_transfers, 1.0);
+}
+
+TEST(Meces, LowPropagationDelay) {
+  CustomParams p = SmallParams();
+  p.record_cost = sim::Micros(400);
+  auto w1 = BuildCustomWorkload(p);
+  auto meces = RunExperiment(w1, ScaleConfig(SystemKind::kMeces));
+  auto w2 = BuildCustomWorkload(p);
+  auto otfs = RunExperiment(w2, ScaleConfig(SystemKind::kOtfsFluid));
+  // Single synchronization: Meces starts migrating long before OTFS's
+  // aligned barrier reaches the scaling operator (Fig 12).
+  EXPECT_LT(meces.cumulative_propagation, otfs.cumulative_propagation);
+}
+
+// ---------------------------------------------------------------------------
+// Unbound (Section II-B probe)
+// ---------------------------------------------------------------------------
+
+TEST(Unbound, SacrificesCorrectnessForSpeed) {
+  CustomParams p = SmallParams();
+  p.record_cost = sim::Micros(300);
+  auto w = BuildCustomWorkload(p);
+  auto r = RunExperiment(w, ScaleConfig(SystemKind::kUnbound));
+  EXPECT_GT(r.mechanism_duration, 0);
+  // No suspension by construction...
+  EXPECT_EQ(r.cumulative_suspension, 0);
+  // ...but state-locality violations are the price (universal keys).
+  EXPECT_GT(r.invariants.state_miss_processing, 0u);
+}
+
+TEST(Unbound, LatencyCloseToNoScale) {
+  CustomParams p = SmallParams();
+  auto w1 = BuildCustomWorkload(p);
+  auto unbound = RunExperiment(w1, ScaleConfig(SystemKind::kUnbound));
+  auto w2 = BuildCustomWorkload(p);
+  ExperimentConfig nc = ScaleConfig(SystemKind::kNoScale);
+  auto noscale = RunExperiment(w2, nc);
+  // Fig 2: Unbound's scaling window latency stays within ~2x of No Scale.
+  sim::SimTime from = nc.scale_at;
+  sim::SimTime to = nc.scale_at + sim::Seconds(10);
+  EXPECT_LT(unbound.MeanIn(from, to), noscale.MeanIn(from, to) * 2.0 + 5.0);
+}
+
+// ---------------------------------------------------------------------------
+// Stop-Checkpoint-Restart
+// ---------------------------------------------------------------------------
+
+TEST(StopRestart, HaltsAndRestartsCorrectly) {
+  Fixture f(SmallParams());
+  StopRestartStrategy strategy(&f.graph);
+  f.RunWithScale(&strategy, 6);
+  ASSERT_TRUE(strategy.done());
+  f.ExpectOwnershipMatchesUniform(6);
+  EXPECT_GT(strategy.last_downtime(), sim::Seconds(1));
+  EXPECT_TRUE(f.hub.invariants().Clean());
+  EXPECT_EQ(f.hub.sink_rate().total(), f.hub.source_rate().total());
+}
+
+TEST(StopRestart, DowntimeCausesLatencySpike) {
+  auto w = BuildCustomWorkload(SmallParams());
+  auto r = RunExperiment(w, ScaleConfig(SystemKind::kStopRestart));
+  // Peak latency at least the fixed redeploy cost (2 s).
+  EXPECT_GT(r.peak_latency_ms, 2000.0);
+  EXPECT_TRUE(r.invariants.Clean());
+}
+
+// ---------------------------------------------------------------------------
+// Cross-system comparisons (shape checks for the paper's claims)
+// ---------------------------------------------------------------------------
+
+TEST(Comparison, DrrsBeatsBaselinesOnScalingDuration) {
+  CustomParams p = SmallParams();
+  p.state_bytes_per_key = 8192;
+  auto run = [&](SystemKind kind) {
+    auto w = BuildCustomWorkload(p);
+    return RunExperiment(w, ScaleConfig(kind));
+  };
+  auto drrs = run(SystemKind::kDrrs);
+  auto megaphone = run(SystemKind::kMegaphone);
+  // Megaphone's sequential units take far longer than DRRS's parallel
+  // subscales (Section V-B: up to 7.24x on Q7).
+  EXPECT_LT(drrs.mechanism_duration, megaphone.mechanism_duration);
+}
+
+TEST(Comparison, MegaphoneHasHighestDependencyOverhead) {
+  CustomParams p = SmallParams();
+  p.state_bytes_per_key = 8192;
+  auto run = [&](SystemKind kind) {
+    auto w = BuildCustomWorkload(p);
+    return RunExperiment(w, ScaleConfig(kind));
+  };
+  auto drrs = run(SystemKind::kDrrs);
+  auto megaphone = run(SystemKind::kMegaphone);
+  auto meces = run(SystemKind::kMeces);
+  EXPECT_GT(megaphone.avg_dependency_us, drrs.avg_dependency_us);
+  EXPECT_GT(megaphone.avg_dependency_us, meces.avg_dependency_us);
+}
+
+TEST(Comparison, MecesSuspensionExceedsDrrs) {
+  CustomParams p = SmallParams();
+  p.record_cost = sim::Micros(2200);  // bottleneck, like the paper's setup
+  p.state_bytes_per_key = 8192;
+  auto run = [&](SystemKind kind) {
+    auto w = BuildCustomWorkload(p);
+    return RunExperiment(w, ScaleConfig(kind));
+  };
+  auto drrs = run(SystemKind::kDrrs);
+  auto meces = run(SystemKind::kMeces);
+  EXPECT_GT(meces.cumulative_suspension, drrs.cumulative_suspension);
+}
+
+}  // namespace
+}  // namespace drrs::scaling

@@ -1,0 +1,161 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "state/keyed_state.h"
+
+namespace drrs::state {
+namespace {
+
+TEST(StateCell, RecomputeBytes) {
+  StateCell cell;
+  cell.RecomputeBytes();
+  EXPECT_EQ(cell.nominal_bytes, 64u);
+  cell.windows.emplace_back(100, 1);
+  cell.windows.emplace_back(200, 2);
+  cell.RecomputeBytes(1000);
+  EXPECT_EQ(cell.nominal_bytes, 1000u + 32u);
+}
+
+class BackendTest : public ::testing::Test {
+ protected:
+  BackendTest() : backend_(8) {
+    for (uint32_t kg = 0; kg < 4; ++kg) backend_.AcquireKeyGroup(kg);
+  }
+  KeyedStateBackend backend_;
+};
+
+TEST_F(BackendTest, OwnershipFlags) {
+  EXPECT_TRUE(backend_.OwnsKeyGroup(0));
+  EXPECT_FALSE(backend_.OwnsKeyGroup(5));
+  backend_.ReleaseKeyGroup(0);
+  EXPECT_FALSE(backend_.OwnsKeyGroup(0));
+  EXPECT_EQ(backend_.owned_key_groups().size(), 3u);
+}
+
+TEST_F(BackendTest, GetOrCreatePersists) {
+  StateCell* cell = backend_.GetOrCreate(1, 42);
+  cell->counter = 7;
+  EXPECT_EQ(backend_.Get(1, 42)->counter, 7);
+  EXPECT_EQ(backend_.Get(1, 43), nullptr);
+  EXPECT_EQ(backend_.KeyCount(1), 1u);
+}
+
+TEST_F(BackendTest, ExtractMovesStateAndOwnership) {
+  backend_.GetOrCreate(2, 10)->counter = 1;
+  backend_.GetOrCreate(2, 11)->counter = 2;
+  KeyGroupState moved = backend_.ExtractKeyGroup(2);
+  EXPECT_EQ(moved.key_group, 2u);
+  EXPECT_EQ(moved.cells.size(), 2u);
+  EXPECT_FALSE(backend_.OwnsKeyGroup(2));
+  EXPECT_FALSE(backend_.HasAnyState(2));
+
+  KeyedStateBackend other(8);
+  other.InstallKeyGroup(std::move(moved));
+  EXPECT_TRUE(other.OwnsKeyGroup(2));
+  EXPECT_EQ(other.Get(2, 10)->counter, 1);
+  EXPECT_EQ(other.Get(2, 11)->counter, 2);
+}
+
+TEST_F(BackendTest, ExtractSubKeyGroupPartitions) {
+  for (uint64_t k = 0; k < 100; ++k) backend_.GetOrCreate(3, k)->counter = 1;
+  KeyGroupState s0 = backend_.ExtractSubKeyGroup(3, 0, 4);
+  KeyGroupState s1 = backend_.ExtractSubKeyGroup(3, 1, 4);
+  KeyGroupState s2 = backend_.ExtractSubKeyGroup(3, 2, 4);
+  KeyGroupState s3 = backend_.ExtractSubKeyGroup(3, 3, 4);
+  EXPECT_EQ(s0.cells.size() + s1.cells.size() + s2.cells.size() +
+                s3.cells.size(),
+            100u);
+  EXPECT_FALSE(backend_.HasAnyState(3));
+  // Partitions are disjoint.
+  std::set<dataflow::KeyT> seen;
+  for (const auto* s : {&s0, &s1, &s2, &s3}) {
+    for (const auto& [key, cell] : s->cells) {
+      EXPECT_TRUE(seen.insert(key).second);
+    }
+  }
+}
+
+TEST_F(BackendTest, SubKeyGroupExtractionIsStable) {
+  // The same key always lands in the same sub-key-group.
+  for (uint64_t k = 0; k < 50; ++k) backend_.GetOrCreate(1, k)->counter = 1;
+  KeyGroupState first = backend_.ExtractSubKeyGroup(1, 2, 4);
+  // Re-insert and extract again: same key set.
+  std::set<dataflow::KeyT> keys1;
+  for (const auto& [key, cell] : first.cells) keys1.insert(key);
+  KeyGroupState reinstall;
+  reinstall.key_group = 1;
+  reinstall.cells = first.cells;
+  backend_.InstallKeyGroup(std::move(reinstall));
+  KeyGroupState second = backend_.ExtractSubKeyGroup(1, 2, 4);
+  std::set<dataflow::KeyT> keys2;
+  for (const auto& [key, cell] : second.cells) keys2.insert(key);
+  EXPECT_EQ(keys1, keys2);
+}
+
+TEST_F(BackendTest, BytesAccounting) {
+  backend_.GetOrCreate(0, 1)->nominal_bytes = 100;
+  backend_.GetOrCreate(0, 2)->nominal_bytes = 200;
+  backend_.GetOrCreate(1, 3)->nominal_bytes = 50;
+  EXPECT_EQ(backend_.KeyGroupBytes(0), 300u);
+  EXPECT_EQ(backend_.TotalBytes(), 350u);
+  EXPECT_EQ(backend_.TotalKeys(), 3u);
+}
+
+TEST_F(BackendTest, TotalBytesOnlyCountsOwned) {
+  backend_.GetOrCreate(0, 1)->nominal_bytes = 100;
+  backend_.ReleaseKeyGroup(0);
+  EXPECT_EQ(backend_.TotalBytes(), 0u);
+}
+
+TEST_F(BackendTest, SnapshotAndRestoreRoundTrip) {
+  backend_.GetOrCreate(0, 1)->counter = 11;
+  backend_.GetOrCreate(1, 2)->sum = 22;
+  auto snapshot = backend_.Snapshot();
+  // Mutate after snapshot: restore must undo this.
+  backend_.GetOrCreate(0, 1)->counter = 999;
+  backend_.GetOrCreate(2, 5)->counter = 5;
+  backend_.Restore(std::move(snapshot));
+  EXPECT_EQ(backend_.Get(0, 1)->counter, 11);
+  EXPECT_EQ(backend_.Get(1, 2)->sum, 22);
+  EXPECT_EQ(backend_.Get(2, 5), nullptr);
+  EXPECT_TRUE(backend_.OwnsKeyGroup(0));
+}
+
+TEST_F(BackendTest, SnapshotIsDeepCopy) {
+  backend_.GetOrCreate(0, 1)->counter = 1;
+  auto snapshot = backend_.Snapshot();
+  backend_.Get(0, 1)->counter = 2;
+  bool found = false;
+  for (const auto& group : snapshot) {
+    auto it = group.cells.find(1);
+    if (it != group.cells.end()) {
+      EXPECT_EQ(it->second.counter, 1);
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST_F(BackendTest, InstallMergesSubGroups) {
+  // Installing two sub-key-group chunks of the same group accumulates cells.
+  KeyGroupState a;
+  a.key_group = 6;
+  a.cells[1].counter = 1;
+  KeyGroupState b;
+  b.key_group = 6;
+  b.cells[2].counter = 2;
+  backend_.InstallKeyGroup(std::move(a));
+  backend_.InstallKeyGroup(std::move(b));
+  EXPECT_EQ(backend_.KeyCount(6), 2u);
+}
+
+TEST(KeyGroupState, TotalBytes) {
+  KeyGroupState s;
+  s.cells[1].nominal_bytes = 10;
+  s.cells[2].nominal_bytes = 20;
+  EXPECT_EQ(s.TotalBytes(), 30u);
+}
+
+}  // namespace
+}  // namespace drrs::state

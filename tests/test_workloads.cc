@@ -1,0 +1,307 @@
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "harness/experiment.h"
+#include "runtime/execution_graph.h"
+#include "sim/simulator.h"
+#include "workloads/generators.h"
+#include "workloads/operators.h"
+#include "workloads/workloads.h"
+
+namespace drrs::workloads {
+namespace {
+
+// ---------------------------------------------------------------------------
+// RateGenerator
+// ---------------------------------------------------------------------------
+
+TEST(RateGenerator, ProducesAtConfiguredRate) {
+  RateGenerator::Params p;
+  p.events_per_second = 1000;
+  p.duration = sim::Seconds(10);
+  RateGenerator gen(p);
+  uint64_t count = 0;
+  dataflow::StreamElement e;
+  sim::SimTime arrival = 0;
+  sim::SimTime prev = -1;
+  while (gen.Next(&e, &arrival)) {
+    EXPECT_GE(arrival, prev);  // non-decreasing arrivals
+    prev = arrival;
+    ++count;
+  }
+  EXPECT_NEAR(count, 10000, 600);
+  EXPECT_LT(prev, sim::Seconds(10));
+}
+
+TEST(RateGenerator, Deterministic) {
+  RateGenerator::Params p;
+  p.events_per_second = 500;
+  p.duration = sim::Seconds(2);
+  p.seed = 99;
+  RateGenerator a(p), b(p);
+  dataflow::StreamElement ea, eb;
+  sim::SimTime ta, tb;
+  while (true) {
+    bool ha = a.Next(&ea, &ta);
+    bool hb = b.Next(&eb, &tb);
+    ASSERT_EQ(ha, hb);
+    if (!ha) break;
+    EXPECT_EQ(ea.key, eb.key);
+    EXPECT_EQ(ea.value, eb.value);
+    EXPECT_EQ(ta, tb);
+  }
+}
+
+TEST(RateGenerator, SurgeIncreasesRate) {
+  RateGenerator::Params p;
+  p.events_per_second = 1000;
+  p.duration = sim::Seconds(20);
+  p.surge_at = sim::Seconds(10);
+  p.surge_factor = 3.0;
+  RateGenerator gen(p);
+  uint64_t before = 0, after = 0;
+  dataflow::StreamElement e;
+  sim::SimTime arrival;
+  while (gen.Next(&e, &arrival)) {
+    (arrival < sim::Seconds(10) ? before : after) += 1;
+  }
+  EXPECT_GT(after, before * 2);
+}
+
+TEST(RateGenerator, FactorySplitsRateAcrossSubtasks) {
+  RateGenerator::Params p;
+  p.events_per_second = 2000;
+  p.duration = sim::Seconds(5);
+  auto factory = MakeRateGeneratorFactory(p);
+  uint64_t total = 0;
+  for (uint32_t s = 0; s < 4; ++s) {
+    auto gen = factory(s, 4);
+    dataflow::StreamElement e;
+    sim::SimTime arrival;
+    while (gen->Next(&e, &arrival)) ++total;
+  }
+  EXPECT_NEAR(total, 10000, 700);
+}
+
+// ---------------------------------------------------------------------------
+// Operators
+// ---------------------------------------------------------------------------
+
+class FakeContext : public dataflow::OperatorContext {
+ public:
+  explicit FakeContext(uint32_t key_groups) : backend_(key_groups) {
+    for (uint32_t kg = 0; kg < key_groups; ++kg) backend_.AcquireKeyGroup(kg);
+  }
+  void Emit(const dataflow::StreamElement& record) override {
+    emitted.push_back(record);
+  }
+  state::KeyedStateBackend* state() override { return &backend_; }
+  sim::SimTime now() const override { return now_; }
+  sim::SimTime watermark() const override { return watermark_; }
+  uint32_t subtask_index() const override { return 0; }
+
+  void set_watermark(sim::SimTime wm) { watermark_ = wm; }
+
+  std::vector<dataflow::StreamElement> emitted;
+  sim::SimTime now_ = 0;
+  sim::SimTime watermark_ = -1;
+  state::KeyedStateBackend backend_;
+};
+
+TEST(KeyedAggregateOperator, AccumulatesPerKey) {
+  FakeContext ctx(8);
+  KeyedAggregateOperator op(1000);
+  op.ProcessRecord(dataflow::MakeRecord(1, 10, 0, 0, 64), &ctx);
+  op.ProcessRecord(dataflow::MakeRecord(1, 5, 0, 0, 64), &ctx);
+  op.ProcessRecord(dataflow::MakeRecord(2, 7, 0, 0, 64), &ctx);
+  ASSERT_EQ(ctx.emitted.size(), 3u);
+  EXPECT_EQ(ctx.emitted[0].value, 10);
+  EXPECT_EQ(ctx.emitted[1].value, 15);  // running sum for key 1
+  EXPECT_EQ(ctx.emitted[2].value, 7);
+  // State padding reflected in nominal bytes.
+  dataflow::KeyGroupId kg = ctx.backend_.num_key_groups() > 0
+                                ? static_cast<dataflow::KeyGroupId>(
+                                      HashKey(1) % ctx.backend_.num_key_groups())
+                                : 0;
+  EXPECT_GE(ctx.backend_.Get(kg, 1)->nominal_bytes, 1000u);
+}
+
+TEST(SlidingWindowOperator, AssignsToAllPanes) {
+  FakeContext ctx(8);
+  // 10s window, 2s slide: an event belongs to 5 panes.
+  SlidingWindowOperator op(sim::Seconds(10), sim::Seconds(2), AggFn::kCount);
+  op.ProcessRecord(dataflow::MakeRecord(1, 1, sim::Seconds(5), 0, 64), &ctx);
+  dataflow::KeyGroupId kg = static_cast<dataflow::KeyGroupId>(
+      HashKey(1) % ctx.backend_.num_key_groups());
+  EXPECT_EQ(ctx.backend_.Get(kg, 1)->windows.size(), 5u);
+}
+
+TEST(SlidingWindowOperator, FiresOnWatermark) {
+  FakeContext ctx(8);
+  SlidingWindowOperator op(sim::Seconds(10), sim::Seconds(2), AggFn::kMax);
+  op.ProcessRecord(dataflow::MakeRecord(1, 42, sim::Seconds(5), 0, 64), &ctx);
+  op.ProcessRecord(dataflow::MakeRecord(1, 17, sim::Seconds(5), 0, 64), &ctx);
+  ASSERT_TRUE(ctx.emitted.empty());
+  op.ProcessWatermark(sim::Seconds(8), &ctx);
+  // Panes ending at 6s and 8s fired with the max.
+  ASSERT_EQ(ctx.emitted.size(), 2u);
+  EXPECT_EQ(ctx.emitted[0].value, 42);
+  EXPECT_EQ(ctx.emitted[0].key, 1u);
+  // Remaining panes still open.
+  dataflow::KeyGroupId kg = static_cast<dataflow::KeyGroupId>(
+      HashKey(1) % ctx.backend_.num_key_groups());
+  EXPECT_EQ(ctx.backend_.Get(kg, 1)->windows.size(), 3u);
+}
+
+TEST(SlidingWindowOperator, EagerFiringAtRecordTime) {
+  FakeContext ctx(8);
+  SlidingWindowOperator op(sim::Seconds(4), sim::Seconds(2), AggFn::kSum);
+  op.ProcessRecord(dataflow::MakeRecord(1, 5, sim::Seconds(1), 0, 64), &ctx);
+  ctx.set_watermark(sim::Seconds(3));
+  // A later record for the same key flushes the due pane without a
+  // watermark scan.
+  op.ProcessRecord(dataflow::MakeRecord(1, 9, sim::Seconds(3) + 1, 0, 64),
+                   &ctx);
+  ASSERT_FALSE(ctx.emitted.empty());
+  EXPECT_EQ(ctx.emitted[0].event_time, sim::Seconds(2));
+  EXPECT_EQ(ctx.emitted[0].value, 5);
+}
+
+TEST(SlidingWindowOperator, CountAggregation) {
+  FakeContext ctx(8);
+  SlidingWindowOperator op(sim::Seconds(4), sim::Seconds(4), AggFn::kCount);
+  for (int i = 0; i < 7; ++i) {
+    op.ProcessRecord(dataflow::MakeRecord(3, 1, sim::Seconds(1), 0, 64), &ctx);
+  }
+  op.ProcessWatermark(sim::Seconds(4), &ctx);
+  ASSERT_EQ(ctx.emitted.size(), 1u);
+  EXPECT_EQ(ctx.emitted[0].value, 7);
+}
+
+TEST(SessionOperator, ClosesAfterGap) {
+  FakeContext ctx(8);
+  SessionOperator op(sim::Seconds(30));
+  op.ProcessRecord(dataflow::MakeRecord(1, 1, sim::Seconds(0) + 1, 0, 64), &ctx);
+  op.ProcessRecord(dataflow::MakeRecord(1, 1, sim::Seconds(10), 0, 64), &ctx);
+  size_t before = ctx.emitted.size();
+  // 40s gap: session closes; emits the session length (2 events).
+  op.ProcessRecord(dataflow::MakeRecord(1, 1, sim::Seconds(50), 0, 64), &ctx);
+  ASSERT_GT(ctx.emitted.size(), before);
+  EXPECT_EQ(ctx.emitted[before].value, 2);
+}
+
+TEST(MapOperator, AppliesTransform) {
+  FakeContext ctx(8);
+  MapOperator op(3, 2);
+  op.ProcessRecord(dataflow::MakeRecord(1, 10, 0, 0, 64), &ctx);
+  ASSERT_EQ(ctx.emitted.size(), 1u);
+  EXPECT_EQ(ctx.emitted[0].value, 15);
+}
+
+// ---------------------------------------------------------------------------
+// Workload builders
+// ---------------------------------------------------------------------------
+
+TEST(Workloads, CustomBuildsAndValidates) {
+  CustomParams p;
+  auto w = BuildCustomWorkload(p);
+  EXPECT_TRUE(w.graph.Validate().ok());
+  EXPECT_EQ(w.name, "custom");
+  EXPECT_EQ(w.graph.operators().size(), 3u);
+  EXPECT_TRUE(w.graph.operators()[w.scaled_op].is_stateful);
+}
+
+TEST(Workloads, NexmarkQ7AndQ8Build) {
+  for (int q : {7, 8}) {
+    NexmarkParams p;
+    p.query = q;
+    auto w = BuildNexmarkWorkload(p);
+    EXPECT_TRUE(w.graph.Validate().ok()) << "Q" << q;
+    EXPECT_TRUE(w.graph.operators()[w.scaled_op].is_stateful);
+  }
+}
+
+TEST(Workloads, TwitchHasSevenOperators) {
+  TwitchParams p;
+  auto w = BuildTwitchWorkload(p);
+  EXPECT_TRUE(w.graph.Validate().ok());
+  EXPECT_EQ(w.graph.operators().size(), 7u);
+  EXPECT_EQ(w.graph.operators()[w.scaled_op].name, "loyalty");
+}
+
+TEST(Workloads, NexmarkQ7RunsEndToEnd) {
+  NexmarkParams p;
+  p.events_per_second = 1000;
+  p.duration = sim::Seconds(15);
+  p.num_auctions = 500;
+  p.window_parallelism = 4;
+  p.num_key_groups = 32;
+  p.record_cost = sim::Micros(150);
+  p.state_padding_bytes = 512;
+  auto w = BuildNexmarkWorkload(p);
+  sim::Simulator sim;
+  metrics::MetricsHub hub;
+  runtime::ExecutionGraph graph(&sim, w.graph, runtime::EngineConfig{}, &hub);
+  ASSERT_TRUE(graph.Build().ok());
+  graph.Start();
+  sim.RunUntilIdle();
+  EXPECT_GT(hub.source_rate().total(), 10000u);
+  // Window results reached the sink.
+  EXPECT_GT(hub.sink_rate().total(), 0u);
+  EXPECT_TRUE(hub.invariants().Clean());
+}
+
+TEST(Workloads, TwitchRunsEndToEnd) {
+  TwitchParams p;
+  p.events_per_second = 1000;
+  p.duration = sim::Seconds(15);
+  p.num_users = 2000;
+  p.loyalty_parallelism = 4;
+  p.num_key_groups = 32;
+  p.record_cost = sim::Micros(150);
+  auto w = BuildTwitchWorkload(p);
+  sim::Simulator sim;
+  metrics::MetricsHub hub;
+  runtime::ExecutionGraph graph(&sim, w.graph, runtime::EngineConfig{}, &hub);
+  ASSERT_TRUE(graph.Build().ok());
+  graph.Start();
+  sim.RunUntilIdle();
+  EXPECT_GT(hub.source_rate().total(), 10000u);
+  // Sessionizer adds occasional session-close records on top of the 1:1
+  // pass-through flow.
+  EXPECT_GE(hub.sink_rate().total(), hub.source_rate().total());
+  EXPECT_TRUE(hub.invariants().Clean());
+}
+
+TEST(Workloads, SkewConcentratesState) {
+  CustomParams p;
+  p.events_per_second = 2000;
+  p.duration = sim::Seconds(10);
+  p.num_keys = 2000;
+  p.num_key_groups = 32;
+  auto measure_imbalance = [&](double skew) {
+    p.skew = skew;
+    auto w = BuildCustomWorkload(p);
+    sim::Simulator sim;
+    metrics::MetricsHub hub;
+    runtime::ExecutionGraph graph(&sim, w.graph, runtime::EngineConfig{},
+                                  &hub);
+    EXPECT_TRUE(graph.Build().ok());
+    graph.Start();
+    sim.RunUntilIdle();
+    // Imbalance: max/mean records processed across aggregator instances.
+    uint64_t max_rec = 0, total = 0;
+    for (runtime::Task* t : graph.instances_of(w.scaled_op)) {
+      max_rec = std::max(max_rec, t->processed_records());
+      total += t->processed_records();
+    }
+    return static_cast<double>(max_rec) /
+           (static_cast<double>(total) / 8.0);
+  };
+  EXPECT_GT(measure_imbalance(1.5), measure_imbalance(0.0) * 1.2);
+}
+
+}  // namespace
+}  // namespace drrs::workloads
