@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig13_suspension.dir/bench_fig13_suspension.cc.o"
+  "CMakeFiles/bench_fig13_suspension.dir/bench_fig13_suspension.cc.o.d"
+  "bench_fig13_suspension"
+  "bench_fig13_suspension.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig13_suspension.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_tumbling_instability.dir/bench_tumbling_instability.cc.o"
+  "CMakeFiles/bench_tumbling_instability.dir/bench_tumbling_instability.cc.o.d"
+  "bench_tumbling_instability"
+  "bench_tumbling_instability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tumbling_instability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

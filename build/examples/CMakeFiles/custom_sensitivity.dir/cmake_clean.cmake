@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/custom_sensitivity.dir/custom_sensitivity.cpp.o"
+  "CMakeFiles/custom_sensitivity.dir/custom_sensitivity.cpp.o.d"
+  "custom_sensitivity"
+  "custom_sensitivity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/custom_sensitivity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nexmark_scaling.dir/nexmark_scaling.cpp.o"
+  "CMakeFiles/nexmark_scaling.dir/nexmark_scaling.cpp.o.d"
+  "nexmark_scaling"
+  "nexmark_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nexmark_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

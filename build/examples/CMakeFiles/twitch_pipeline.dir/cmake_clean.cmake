@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/twitch_pipeline.dir/twitch_pipeline.cpp.o"
+  "CMakeFiles/twitch_pipeline.dir/twitch_pipeline.cpp.o.d"
+  "twitch_pipeline"
+  "twitch_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/twitch_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,46 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/common/logging.cc" "src/CMakeFiles/drrs.dir/common/logging.cc.o" "gcc" "src/CMakeFiles/drrs.dir/common/logging.cc.o.d"
+  "/root/repo/src/common/random.cc" "src/CMakeFiles/drrs.dir/common/random.cc.o" "gcc" "src/CMakeFiles/drrs.dir/common/random.cc.o.d"
+  "/root/repo/src/common/status.cc" "src/CMakeFiles/drrs.dir/common/status.cc.o" "gcc" "src/CMakeFiles/drrs.dir/common/status.cc.o.d"
+  "/root/repo/src/dataflow/job_graph.cc" "src/CMakeFiles/drrs.dir/dataflow/job_graph.cc.o" "gcc" "src/CMakeFiles/drrs.dir/dataflow/job_graph.cc.o.d"
+  "/root/repo/src/dataflow/key_space.cc" "src/CMakeFiles/drrs.dir/dataflow/key_space.cc.o" "gcc" "src/CMakeFiles/drrs.dir/dataflow/key_space.cc.o.d"
+  "/root/repo/src/dataflow/stream_element.cc" "src/CMakeFiles/drrs.dir/dataflow/stream_element.cc.o" "gcc" "src/CMakeFiles/drrs.dir/dataflow/stream_element.cc.o.d"
+  "/root/repo/src/harness/experiment.cc" "src/CMakeFiles/drrs.dir/harness/experiment.cc.o" "gcc" "src/CMakeFiles/drrs.dir/harness/experiment.cc.o.d"
+  "/root/repo/src/metrics/metrics_hub.cc" "src/CMakeFiles/drrs.dir/metrics/metrics_hub.cc.o" "gcc" "src/CMakeFiles/drrs.dir/metrics/metrics_hub.cc.o.d"
+  "/root/repo/src/metrics/timeseries.cc" "src/CMakeFiles/drrs.dir/metrics/timeseries.cc.o" "gcc" "src/CMakeFiles/drrs.dir/metrics/timeseries.cc.o.d"
+  "/root/repo/src/net/channel.cc" "src/CMakeFiles/drrs.dir/net/channel.cc.o" "gcc" "src/CMakeFiles/drrs.dir/net/channel.cc.o.d"
+  "/root/repo/src/runtime/checkpoint.cc" "src/CMakeFiles/drrs.dir/runtime/checkpoint.cc.o" "gcc" "src/CMakeFiles/drrs.dir/runtime/checkpoint.cc.o.d"
+  "/root/repo/src/runtime/execution_graph.cc" "src/CMakeFiles/drrs.dir/runtime/execution_graph.cc.o" "gcc" "src/CMakeFiles/drrs.dir/runtime/execution_graph.cc.o.d"
+  "/root/repo/src/runtime/source_task.cc" "src/CMakeFiles/drrs.dir/runtime/source_task.cc.o" "gcc" "src/CMakeFiles/drrs.dir/runtime/source_task.cc.o.d"
+  "/root/repo/src/runtime/task.cc" "src/CMakeFiles/drrs.dir/runtime/task.cc.o" "gcc" "src/CMakeFiles/drrs.dir/runtime/task.cc.o.d"
+  "/root/repo/src/scaling/drrs/drrs.cc" "src/CMakeFiles/drrs.dir/scaling/drrs/drrs.cc.o" "gcc" "src/CMakeFiles/drrs.dir/scaling/drrs/drrs.cc.o.d"
+  "/root/repo/src/scaling/meces.cc" "src/CMakeFiles/drrs.dir/scaling/meces.cc.o" "gcc" "src/CMakeFiles/drrs.dir/scaling/meces.cc.o.d"
+  "/root/repo/src/scaling/otfs.cc" "src/CMakeFiles/drrs.dir/scaling/otfs.cc.o" "gcc" "src/CMakeFiles/drrs.dir/scaling/otfs.cc.o.d"
+  "/root/repo/src/scaling/planner.cc" "src/CMakeFiles/drrs.dir/scaling/planner.cc.o" "gcc" "src/CMakeFiles/drrs.dir/scaling/planner.cc.o.d"
+  "/root/repo/src/scaling/scale_service.cc" "src/CMakeFiles/drrs.dir/scaling/scale_service.cc.o" "gcc" "src/CMakeFiles/drrs.dir/scaling/scale_service.cc.o.d"
+  "/root/repo/src/scaling/stop_restart.cc" "src/CMakeFiles/drrs.dir/scaling/stop_restart.cc.o" "gcc" "src/CMakeFiles/drrs.dir/scaling/stop_restart.cc.o.d"
+  "/root/repo/src/scaling/strategy.cc" "src/CMakeFiles/drrs.dir/scaling/strategy.cc.o" "gcc" "src/CMakeFiles/drrs.dir/scaling/strategy.cc.o.d"
+  "/root/repo/src/scaling/unbound.cc" "src/CMakeFiles/drrs.dir/scaling/unbound.cc.o" "gcc" "src/CMakeFiles/drrs.dir/scaling/unbound.cc.o.d"
+  "/root/repo/src/sim/event_queue.cc" "src/CMakeFiles/drrs.dir/sim/event_queue.cc.o" "gcc" "src/CMakeFiles/drrs.dir/sim/event_queue.cc.o.d"
+  "/root/repo/src/sim/simulator.cc" "src/CMakeFiles/drrs.dir/sim/simulator.cc.o" "gcc" "src/CMakeFiles/drrs.dir/sim/simulator.cc.o.d"
+  "/root/repo/src/state/keyed_state.cc" "src/CMakeFiles/drrs.dir/state/keyed_state.cc.o" "gcc" "src/CMakeFiles/drrs.dir/state/keyed_state.cc.o.d"
+  "/root/repo/src/workloads/generators.cc" "src/CMakeFiles/drrs.dir/workloads/generators.cc.o" "gcc" "src/CMakeFiles/drrs.dir/workloads/generators.cc.o.d"
+  "/root/repo/src/workloads/operators.cc" "src/CMakeFiles/drrs.dir/workloads/operators.cc.o" "gcc" "src/CMakeFiles/drrs.dir/workloads/operators.cc.o.d"
+  "/root/repo/src/workloads/workloads.cc" "src/CMakeFiles/drrs.dir/workloads/workloads.cc.o" "gcc" "src/CMakeFiles/drrs.dir/workloads/workloads.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_concurrent_ops.dir/test_concurrent_ops.cc.o"
+  "CMakeFiles/test_concurrent_ops.dir/test_concurrent_ops.cc.o.d"
+  "test_concurrent_ops"
+  "test_concurrent_ops.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_concurrent_ops.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

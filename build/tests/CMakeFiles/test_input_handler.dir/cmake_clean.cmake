@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_input_handler.dir/test_input_handler.cc.o"
+  "CMakeFiles/test_input_handler.dir/test_input_handler.cc.o.d"
+  "test_input_handler"
+  "test_input_handler.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_input_handler.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

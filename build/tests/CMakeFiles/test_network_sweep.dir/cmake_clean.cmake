@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_network_sweep.dir/test_network_sweep.cc.o"
+  "CMakeFiles/test_network_sweep.dir/test_network_sweep.cc.o.d"
+  "test_network_sweep"
+  "test_network_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_network_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_scale_service.dir/test_scale_service.cc.o"
+  "CMakeFiles/test_scale_service.dir/test_scale_service.cc.o.d"
+  "test_scale_service"
+  "test_scale_service.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_scale_service.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_scaling_baselines.dir/test_scaling_baselines.cc.o"
+  "CMakeFiles/test_scaling_baselines.dir/test_scaling_baselines.cc.o.d"
+  "test_scaling_baselines"
+  "test_scaling_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_scaling_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_scaling_drrs.dir/test_scaling_drrs.cc.o"
+  "CMakeFiles/test_scaling_drrs.dir/test_scaling_drrs.cc.o.d"
+  "test_scaling_drrs"
+  "test_scaling_drrs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_scaling_drrs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

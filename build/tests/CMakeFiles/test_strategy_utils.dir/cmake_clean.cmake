@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_strategy_utils.dir/test_strategy_utils.cc.o"
+  "CMakeFiles/test_strategy_utils.dir/test_strategy_utils.cc.o.d"
+  "test_strategy_utils"
+  "test_strategy_utils.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_strategy_utils.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_window_scaling.dir/test_window_scaling.cc.o"
+  "CMakeFiles/test_window_scaling.dir/test_window_scaling.cc.o.d"
+  "test_window_scaling"
+  "test_window_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_window_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
