@@ -1,0 +1,238 @@
+// Microbenchmark for the discrete-event engine hot paths: raw event
+// scheduling, the channel record path, an end-to-end pipeline, and state
+// accounting. Unlike the per-figure benches this one measures the
+// *simulator's own* wall-clock cost, which bounds how large an experiment a
+// single core can replay. Results (items/sec plus heap allocations per item,
+// counted via a global operator-new override) are printed and written to
+// BENCH_engine.json so subsequent PRs can track the perf trajectory.
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <new>
+#include <string>
+#include <vector>
+
+#include "harness/experiment.h"
+#include "net/channel.h"
+#include "sim/simulator.h"
+#include "state/keyed_state.h"
+#include "workloads/workloads.h"
+
+// ---------------------------------------------------------------------------
+// Global allocation counter. Single-threaded benchmark; relaxed atomics keep
+// the override safe for any library-internal threads.
+// ---------------------------------------------------------------------------
+namespace {
+std::atomic<uint64_t> g_alloc_count{0};
+}  // namespace
+
+void* operator new(std::size_t size) {
+  g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size)) return p;
+  throw std::bad_alloc();
+}
+void* operator new[](std::size_t size) {
+  g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size)) return p;
+  throw std::bad_alloc();
+}
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+
+namespace drrs {
+namespace {
+
+struct BenchResult {
+  std::string name;
+  uint64_t items = 0;
+  double wall_ms = 0;
+  uint64_t allocs = 0;
+
+  double items_per_sec() const {
+    return wall_ms > 0 ? items / (wall_ms / 1000.0) : 0;
+  }
+  double allocs_per_item() const {
+    return items > 0 ? static_cast<double>(allocs) / items : 0;
+  }
+};
+
+class Timer {
+ public:
+  Timer() : start_(std::chrono::steady_clock::now()) {}
+  double ElapsedMs() const {
+    auto d = std::chrono::steady_clock::now() - start_;
+    return std::chrono::duration<double, std::milli>(d).count();
+  }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+template <typename Fn>
+BenchResult RunBench(const std::string& name, uint64_t items, Fn&& body) {
+  uint64_t alloc_before = g_alloc_count.load(std::memory_order_relaxed);
+  Timer timer;
+  body();
+  BenchResult r;
+  r.name = name;
+  r.items = items;
+  r.wall_ms = timer.ElapsedMs();
+  r.allocs = g_alloc_count.load(std::memory_order_relaxed) - alloc_before;
+  std::printf("%-24s %10lu items  %9.1f ms  %12.0f items/s  %7.3f allocs/item\n",
+              name.c_str(), static_cast<unsigned long>(r.items), r.wall_ms,
+              r.items_per_sec(), r.allocs_per_item());
+  return r;
+}
+
+// -- 1. raw event scheduling: schedule-and-run batches of trivial events ----
+BenchResult BenchEventSchedule() {
+  constexpr uint64_t kBatches = 2000;
+  constexpr uint64_t kBatch = 1024;
+  return RunBench("event_schedule", kBatches * kBatch, [] {
+    sim::Simulator sim;
+    uint64_t sink = 0;
+    for (uint64_t b = 0; b < kBatches; ++b) {
+      for (uint64_t i = 0; i < kBatch; ++i) {
+        sim.ScheduleAfter(static_cast<sim::SimTime>(i * 7 % 997),
+                          [&sink] { ++sink; });
+      }
+      sim.RunUntilIdle();
+    }
+    if (sink != kBatches * kBatch) std::abort();
+  });
+}
+
+// -- 2. channel record path: transmit/deliver with immediate consumption ----
+class DrainingReceiver : public net::ChannelReceiver {
+ public:
+  void OnElementAvailable(net::Channel* ch) override {
+    while (ch->HasInput()) {
+      consumed_ += ch->PopInput().value >= 0 ? 1 : 0;
+    }
+  }
+  void OnControlBypass(net::Channel*, const dataflow::StreamElement&) override {
+  }
+  uint64_t consumed() const { return consumed_; }
+
+ private:
+  uint64_t consumed_ = 0;
+};
+
+BenchResult BenchChannelRecords() {
+  constexpr uint64_t kBatches = 2000;
+  constexpr uint64_t kBatch = 512;
+  return RunBench("channel_records", kBatches * kBatch, [] {
+    sim::Simulator sim;
+    DrainingReceiver receiver;
+    net::Channel ch(&sim, net::NetworkConfig{}, 0, 1, &receiver);
+    for (uint64_t b = 0; b < kBatches; ++b) {
+      for (uint64_t i = 0; i < kBatch; ++i) {
+        ch.Push(dataflow::MakeRecord(i, static_cast<int64_t>(i),
+                                     static_cast<sim::SimTime>(i),
+                                     static_cast<sim::SimTime>(i), 100));
+      }
+      sim.RunUntilIdle();
+    }
+    if (receiver.consumed() != kBatches * kBatch) std::abort();
+  });
+}
+
+// -- 3. end-to-end record path through a full pipeline (no scaling) ---------
+BenchResult BenchPipeline() {
+  workloads::CustomParams p;
+  p.events_per_second = 20000;
+  p.num_keys = 2000;
+  p.duration = sim::Seconds(30);
+  p.record_cost = sim::Micros(40);
+  p.source_parallelism = 2;
+  p.agg_parallelism = 4;
+  p.sink_parallelism = 2;
+  p.num_key_groups = 64;
+  const uint64_t expected =
+      static_cast<uint64_t>(p.events_per_second * sim::ToSeconds(p.duration));
+  harness::ExperimentConfig c;
+  c.system = harness::SystemKind::kNoScale;
+  c.scale_at = sim::Seconds(10);
+  c.engine.check_invariants = false;
+  uint64_t sunk = 0;
+  BenchResult r = RunBench("pipeline_records", expected, [&] {
+    auto result = harness::RunExperiment(workloads::BuildCustomWorkload(p), c);
+    sunk = result.sink_records;
+  });
+  if (sunk < expected / 2) std::abort();
+  return r;
+}
+
+// -- 4. state accounting: hot-key churn interleaved with metrics samples ----
+BenchResult BenchStateAccounting() {
+  constexpr uint32_t kGroups = 128;
+  constexpr uint64_t kKeys = 100000;
+  constexpr uint64_t kRounds = 200;
+  constexpr uint64_t kTouchesPerRound = 2000;
+  return RunBench("state_accounting", kRounds * kTouchesPerRound, [] {
+    state::KeyedStateBackend backend(kGroups);
+    dataflow::KeySpace ks(kGroups);
+    for (uint32_t kg = 0; kg < kGroups; ++kg) backend.AcquireKeyGroup(kg);
+    for (uint64_t k = 0; k < kKeys; ++k) {
+      backend.GetOrCreate(ks.KeyGroupOf(k), k)->counter = 1;
+    }
+    uint64_t checksum = 0;
+    uint64_t key = 1;
+    for (uint64_t round = 0; round < kRounds; ++round) {
+      for (uint64_t i = 0; i < kTouchesPerRound; ++i) {
+        key = key * 2862933555777941757ULL + 3037000493ULL;  // LCG walk
+        dataflow::KeyT k = key % kKeys;
+        auto* cell = backend.GetOrCreate(ks.KeyGroupOf(k), k);
+        cell->counter += 1;
+        cell->nominal_bytes = 64 + cell->counter % 64;
+      }
+      // One metrics sample per round: the cost this PR makes O(1)-ish.
+      checksum += backend.TotalBytes() + backend.TotalKeys();
+    }
+    if (checksum == 0) std::abort();
+  });
+}
+
+bool WriteJson(const std::vector<BenchResult>& results, const char* path) {
+  std::FILE* f = std::fopen(path, "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot open %s\n", path);
+    return false;
+  }
+  std::fprintf(f, "{\n  \"bench\": \"bench_event_engine\",\n");
+  std::fprintf(f, "  \"results\": {\n");
+  for (size_t i = 0; i < results.size(); ++i) {
+    const BenchResult& r = results[i];
+    std::fprintf(f,
+                 "    \"%s\": {\"items\": %lu, \"wall_ms\": %.2f, "
+                 "\"items_per_sec\": %.0f, \"allocs\": %lu, "
+                 "\"allocs_per_item\": %.4f}%s\n",
+                 r.name.c_str(), static_cast<unsigned long>(r.items), r.wall_ms,
+                 r.items_per_sec(), static_cast<unsigned long>(r.allocs),
+                 r.allocs_per_item(), i + 1 < results.size() ? "," : "");
+  }
+  std::fprintf(f, "  }\n}\n");
+  std::fclose(f);
+  std::printf("wrote %s\n", path);
+  return true;
+}
+
+int Main(int argc, char** argv) {
+  const char* out = argc > 1 ? argv[1] : "BENCH_engine.json";
+  std::vector<BenchResult> results;
+  results.push_back(BenchEventSchedule());
+  results.push_back(BenchChannelRecords());
+  results.push_back(BenchPipeline());
+  results.push_back(BenchStateAccounting());
+  return WriteJson(results, out) ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace drrs
+
+int main(int argc, char** argv) { return drrs::Main(argc, argv); }

@@ -1,0 +1,67 @@
+#ifndef DRRS_COMMON_RING_BUFFER_H_
+#define DRRS_COMMON_RING_BUFFER_H_
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+namespace drrs {
+
+/// \brief Growable power-of-two ring buffer (FIFO).
+///
+/// The steady-state container for per-channel delivery queues: push_back and
+/// pop_front are O(1) and allocation-free once the buffer has grown to the
+/// channel's working-set size (std::deque, by contrast, churns block
+/// allocations as the window slides).
+template <typename T>
+class RingBuffer {
+ public:
+  bool empty() const { return count_ == 0; }
+  size_t size() const { return count_; }
+  size_t capacity() const { return slots_.size(); }
+
+  T& front() { return slots_[head_]; }
+  const T& front() const { return slots_[head_]; }
+
+  /// Element `i` positions behind the front (0 == front).
+  T& at(size_t i) { return slots_[(head_ + i) & mask_]; }
+  const T& at(size_t i) const { return slots_[(head_ + i) & mask_]; }
+
+  void push_back(T value) {
+    if (count_ == slots_.size()) Grow();
+    slots_[(head_ + count_) & mask_] = std::move(value);
+    ++count_;
+  }
+
+  void pop_front() {
+    slots_[head_] = T{};  // release payload resources eagerly
+    head_ = (head_ + 1) & mask_;
+    --count_;
+  }
+
+  void clear() {
+    while (!empty()) pop_front();
+    head_ = 0;
+  }
+
+ private:
+  void Grow() {
+    size_t next = slots_.empty() ? kInitialCapacity : slots_.size() * 2;
+    std::vector<T> grown(next);
+    for (size_t i = 0; i < count_; ++i) grown[i] = std::move(at(i));
+    slots_ = std::move(grown);
+    head_ = 0;
+    mask_ = slots_.size() - 1;
+  }
+
+  static constexpr size_t kInitialCapacity = 16;
+
+  std::vector<T> slots_;
+  size_t head_ = 0;
+  size_t count_ = 0;
+  size_t mask_ = 0;
+};
+
+}  // namespace drrs
+
+#endif  // DRRS_COMMON_RING_BUFFER_H_

@@ -1,6 +1,7 @@
 #include "harness/experiment.h"
 
 #include <cstdio>
+#include <optional>
 #include <utility>
 
 #include "common/logging.h"
@@ -102,6 +103,23 @@ ExperimentResult RunExperiment(const workloads::WorkloadSpec& workload,
   }
 
   graph.Start();
+
+  // Periodic state-size sampling; self-cancels when the sources dry up so a
+  // run-to-completion horizon still terminates.
+  std::optional<sim::PeriodicProcess> state_sampler;
+  sim::PeriodicProcess* sampler_handle = nullptr;
+  if (config.state_sample_period > 0) {
+    state_sampler.emplace(
+        &sim, config.state_sample_period, config.state_sample_period, [&]() {
+          hub->RecordStateBytes(sim.now(), graph.TotalStateBytes());
+          for (runtime::SourceTask* s : graph.sources()) {
+            if (!s->exhausted()) return;
+          }
+          if (sampler_handle != nullptr) sampler_handle->Cancel();
+        });
+    sampler_handle = &*state_sampler;
+  }
+
   sim::SimTime horizon = config.horizon;
   if (horizon <= 0) horizon = sim::kSimTimeMax;  // run to completion
   sim.RunUntil(horizon);

@@ -49,6 +49,10 @@ struct ExperimentConfig {
   double restab_tolerance = 1.10;
   double restab_slack_ms = 20.0;
   sim::SimTime restab_hold = sim::Seconds(20);
+  /// Period of total-state-bytes sampling into MetricsHub::state_bytes()
+  /// (<= 0 disables). Sampling stops once all sources are exhausted so
+  /// run-to-completion experiments still drain the event queue.
+  sim::SimTime state_sample_period = sim::Seconds(1);
 };
 
 struct ExperimentResult {

@@ -149,6 +149,13 @@ class MetricsHub {
   const RateCounter& source_rate() const { return source_rate_; }
   const RateCounter& sink_rate() const { return sink_rate_; }
 
+  // -- total keyed-state footprint (periodic samples; each sample is O(1)
+  //    per backend thanks to the incremental accounting in KeyedStateBackend)
+  void RecordStateBytes(sim::SimTime t, uint64_t bytes) {
+    state_bytes_.Push(t, static_cast<double>(bytes));
+  }
+  const TimeSeries& state_bytes() const { return state_bytes_; }
+
   ScalingMetrics& scaling() { return scaling_; }
   const ScalingMetrics& scaling() const { return scaling_; }
   InvariantMonitor& invariants() { return invariants_; }
@@ -156,6 +163,7 @@ class MetricsHub {
 
  private:
   TimeSeries latency_;
+  TimeSeries state_bytes_;
   RateCounter source_rate_;
   RateCounter sink_rate_;
   ScalingMetrics scaling_;

@@ -1,6 +1,7 @@
 #include "net/channel.h"
 
 #include <algorithm>
+#include <cstddef>
 #include <utility>
 
 #include "common/logging.h"
@@ -35,24 +36,32 @@ void Channel::PushPriority(StreamElement element) {
 
 void Channel::PushBypass(StreamElement element) {
   // Control messages on the bypass path are tiny; model pure propagation.
-  sim_->ScheduleAfter(config_.base_latency,
-                      [this, element = std::move(element)]() {
-                        receiver_task_->OnControlBypass(this, element);
-                      });
+  // now() is nondecreasing, so bypass arrivals are FIFO like the wire's.
+  bypass_.push_back(
+      WireEntry{sim_->now() + config_.base_latency, std::move(element)});
+  ArmBypassEvent();
 }
 
 std::vector<StreamElement> Channel::ExtractFromOutput(
     const std::function<bool(const StreamElement&)>& pred) {
   std::vector<StreamElement> extracted;
-  std::deque<StreamElement> kept;
-  for (StreamElement& e : output_queue_) {
+  const size_t n = output_queue_.size();
+  size_t r = 0;
+  while (r < n && !pred(output_queue_[r])) ++r;
+  if (r == n) return extracted;  // nothing matches: leave the cache untouched
+  // Compact in place: kept elements slide forward over the extracted ones,
+  // preserving the relative order of both sequences.
+  size_t w = r;
+  for (; r < n; ++r) {
+    StreamElement& e = output_queue_[r];
     if (pred(e)) {
       extracted.push_back(std::move(e));
     } else {
-      kept.push_back(std::move(e));
+      output_queue_[w++] = std::move(e);
     }
   }
-  output_queue_ = std::move(kept);
+  output_queue_.erase(output_queue_.begin() + static_cast<std::ptrdiff_t>(w),
+                      output_queue_.end());
   MaybeFireDecongest();
   return extracted;
 }
@@ -61,17 +70,26 @@ std::vector<StreamElement> Channel::ExtractFromOutputBefore(
     const std::function<bool(const StreamElement&)>& pred,
     const std::function<bool(const StreamElement&)>& stop) {
   std::vector<StreamElement> extracted;
-  std::deque<StreamElement> kept;
+  const size_t n = output_queue_.size();
+  size_t r = 0;
+  for (; r < n; ++r) {
+    if (stop(output_queue_[r])) return extracted;  // barrier before any match
+    if (pred(output_queue_[r])) break;
+  }
+  if (r == n) return extracted;
+  size_t w = r;
   bool stopped = false;
-  for (StreamElement& e : output_queue_) {
+  for (; r < n; ++r) {
+    StreamElement& e = output_queue_[r];
     if (!stopped && stop(e)) stopped = true;
     if (!stopped && pred(e)) {
       extracted.push_back(std::move(e));
     } else {
-      kept.push_back(std::move(e));
+      output_queue_[w++] = std::move(e);
     }
   }
-  output_queue_ = std::move(kept);
+  output_queue_.erase(output_queue_.begin() + static_cast<std::ptrdiff_t>(w),
+                      output_queue_.end());
   MaybeFireDecongest();
   return extracted;
 }
@@ -112,7 +130,7 @@ void Channel::NotifyInputConsumed() {
 void Channel::TryTransmit() {
   bool sent = false;
   while (!output_queue_.empty() &&
-         in_flight_ + input_queue_.size() < config_.input_buffer_capacity) {
+         wire_.size() + input_queue_.size() < config_.input_buffer_capacity) {
     StreamElement e = std::move(output_queue_.front());
     output_queue_.pop_front();
     sent = true;
@@ -121,17 +139,49 @@ void Channel::TryTransmit() {
         static_cast<double>(e.WireBytes()) / config_.bandwidth_bytes_per_us);
     link_free_at_ = depart + transfer;
     sim::SimTime arrival = link_free_at_ + config_.base_latency;
-    ++in_flight_;
-    sim_->ScheduleAt(arrival, [this, e = std::move(e)]() mutable {
-      Deliver(std::move(e));
-    });
+    wire_.push_back(WireEntry{arrival, std::move(e)});
   }
-  if (sent) MaybeFireDecongest();
+  if (sent) {
+    ArmWireEvent();
+    MaybeFireDecongest();
+  }
+}
+
+void Channel::ArmWireEvent() {
+  if (wire_event_armed_ || wire_.empty()) return;
+  wire_event_armed_ = true;
+  sim_->ScheduleAt(wire_.front().arrival, [this] { FireWireEvent(); });
+}
+
+void Channel::FireWireEvent() {
+  // The armed flag stays set while draining so reentrant TryTransmit calls
+  // (a receiver consuming synchronously releases credit) cannot double-arm.
+  while (!wire_.empty() && wire_.front().arrival <= sim_->now()) {
+    StreamElement e = std::move(wire_.front().element);
+    wire_.pop_front();
+    Deliver(std::move(e));
+  }
+  wire_event_armed_ = false;
+  ArmWireEvent();
+}
+
+void Channel::ArmBypassEvent() {
+  if (bypass_event_armed_ || bypass_.empty()) return;
+  bypass_event_armed_ = true;
+  sim_->ScheduleAt(bypass_.front().arrival, [this] { FireBypassEvent(); });
+}
+
+void Channel::FireBypassEvent() {
+  while (!bypass_.empty() && bypass_.front().arrival <= sim_->now()) {
+    StreamElement e = std::move(bypass_.front().element);
+    bypass_.pop_front();
+    receiver_task_->OnControlBypass(this, e);
+  }
+  bypass_event_armed_ = false;
+  ArmBypassEvent();
 }
 
 void Channel::Deliver(StreamElement element) {
-  DRRS_CHECK(in_flight_ > 0);
-  --in_flight_;
   ++delivered_elements_;
   delivered_bytes_ += element.WireBytes();
   input_queue_.push_back(std::move(element));

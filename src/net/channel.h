@@ -6,6 +6,7 @@
 #include <functional>
 #include <vector>
 
+#include "common/ring_buffer.h"
 #include "dataflow/stream_element.h"
 #include "sim/sim_time.h"
 #include "sim/simulator.h"
@@ -127,7 +128,7 @@ class Channel {
   const std::deque<dataflow::StreamElement>& output_queue() const {
     return output_queue_;
   }
-  size_t in_flight() const { return in_flight_; }
+  size_t in_flight() const { return wire_.size(); }
 
   // ---- receiver side ----
 
@@ -155,9 +156,21 @@ class Channel {
   uint64_t delivered_bytes() const { return delivered_bytes_; }
 
  private:
+  /// One element travelling the simulated wire (or the bypass path), tagged
+  /// with its computed arrival time. Arrival times are nondecreasing along
+  /// each FIFO, so only the front entry ever needs a pending event.
+  struct WireEntry {
+    sim::SimTime arrival = 0;
+    dataflow::StreamElement element;
+  };
+
   void TryTransmit();
   void Deliver(dataflow::StreamElement element);
   void MaybeFireDecongest();
+  void ArmWireEvent();
+  void FireWireEvent();
+  void ArmBypassEvent();
+  void FireBypassEvent();
 
   sim::Simulator* sim_;
   NetworkConfig config_;
@@ -167,7 +180,16 @@ class Channel {
 
   std::deque<dataflow::StreamElement> output_queue_;
   std::deque<dataflow::StreamElement> input_queue_;
-  size_t in_flight_ = 0;
+  /// In-flight FIFO: elements that left the output cache, keyed by arrival
+  /// time. At most ONE event per channel is armed in the simulator's global
+  /// queue (for the front entry); it re-arms itself after delivering. This
+  /// collapses the old one-heap-event-per-element scheme into O(1) amortized
+  /// queue work per element with no per-element closure allocation.
+  RingBuffer<WireEntry> wire_;
+  bool wire_event_armed_ = false;
+  /// Bypass-path FIFO (trigger barriers), same single-armed-event scheme.
+  RingBuffer<WireEntry> bypass_;
+  bool bypass_event_armed_ = false;
   sim::SimTime link_free_at_ = 0;  ///< serializer availability (FIFO wire)
 
   std::vector<std::function<void()>> decongest_listeners_;

@@ -104,6 +104,14 @@ std::vector<SourceTask*> ExecutionGraph::sources() {
   return out;
 }
 
+uint64_t ExecutionGraph::TotalStateBytes() {
+  uint64_t total = 0;
+  for (auto& t : tasks_) {
+    if (t->state() != nullptr) total += t->state()->TotalBytes();
+  }
+  return total;
+}
+
 OperatorId ExecutionGraph::OperatorByName(const std::string& name) const {
   for (OperatorId op = 0; op < job_.operators().size(); ++op) {
     if (job_.operators()[op].name == name) return op;

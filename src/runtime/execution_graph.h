@@ -76,6 +76,10 @@ class ExecutionGraph {
   /// Operator id by name; aborts when absent.
   dataflow::OperatorId OperatorByName(const std::string& name) const;
 
+  /// Sum of keyed-state bytes across all stateful tasks. O(#tasks x
+  /// #key-groups) — cheap enough for periodic metrics sampling.
+  uint64_t TotalStateBytes();
+
   /// All tasks of all operators with an edge into `op`.
   std::vector<Task*> PredecessorTasksOf(dataflow::OperatorId op);
 

@@ -1,5 +1,6 @@
 #include "sim/event_queue.h"
 
+#include <algorithm>
 #include <utility>
 
 #include "common/logging.h"
@@ -7,22 +8,23 @@
 namespace drrs::sim {
 
 void EventQueue::Schedule(SimTime at, Callback cb) {
-  heap_.push(Event{at, next_seq_++, std::move(cb)});
+  heap_.push_back(Event{at, next_seq_++, std::move(cb)});
+  std::push_heap(heap_.begin(), heap_.end(), Later{});
 }
 
 SimTime EventQueue::PeekTime() const {
   if (heap_.empty()) return kSimTimeMax;
-  return heap_.top().time;
+  return heap_.front().time;
 }
 
 SimTime EventQueue::Pop(Callback* out) {
   DRRS_CHECK(!heap_.empty());
-  // std::priority_queue::top() returns const&; the callback is move-only in
-  // spirit, so const_cast is the standard workaround for moving out of it.
-  Event& top = const_cast<Event&>(heap_.top());
-  SimTime t = top.time;
-  *out = std::move(top.cb);
-  heap_.pop();
+  std::pop_heap(heap_.begin(), heap_.end(), Later{});
+  Event& last = heap_.back();
+  SimTime t = last.time;
+  *out = std::move(last.cb);
+  heap_.pop_back();
+  ++popped_;
   return t;
 }
 

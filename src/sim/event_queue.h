@@ -2,10 +2,9 @@
 #define DRRS_SIM_EVENT_QUEUE_H_
 
 #include <cstdint>
-#include <functional>
-#include <queue>
 #include <vector>
 
+#include "sim/event_callback.h"
 #include "sim/sim_time.h"
 
 namespace drrs::sim {
@@ -15,9 +14,14 @@ namespace drrs::sim {
 /// Ties are broken by insertion order so simulations are fully deterministic:
 /// two events scheduled for the same instant fire in the order they were
 /// scheduled.
+///
+/// The payload is an `EventCallback` (small-buffer-optimized, move-only):
+/// steady-state engine events carry a capture of at most a few pointers and
+/// are stored entirely inline, so scheduling performs no heap allocation
+/// beyond the amortized growth of the heap vector itself.
 class EventQueue {
  public:
-  using Callback = std::function<void()>;
+  using Callback = EventCallback;
 
   /// Enqueue a callback to fire at absolute time `at`.
   void Schedule(SimTime at, Callback cb);
@@ -32,8 +36,13 @@ class EventQueue {
   /// Returns the event's scheduled time; the callback is moved into `out`.
   SimTime Pop(Callback* out);
 
-  /// Number of events executed so far (diagnostic).
+  /// Number of events *scheduled* so far (monotonic insertion counter, also
+  /// the tie-break sequence). Diagnostic.
   uint64_t scheduled_count() const { return next_seq_; }
+
+  /// Number of events popped for execution so far. Diagnostic counterpart of
+  /// scheduled_count(); `scheduled_count() - popped_count() == size()`.
+  uint64_t popped_count() const { return popped_; }
 
  private:
   struct Event {
@@ -48,8 +57,12 @@ class EventQueue {
     }
   };
 
-  std::priority_queue<Event, std::vector<Event>, Later> heap_;
+  // Explicit binary heap (std::push_heap/std::pop_heap over a vector) rather
+  // than std::priority_queue: popping moves the callback out without the
+  // const_cast that priority_queue::top() forces.
+  std::vector<Event> heap_;
   uint64_t next_seq_ = 0;
+  uint64_t popped_ = 0;
 };
 
 }  // namespace drrs::sim

@@ -9,7 +9,12 @@ namespace drrs::state {
 StateCell* KeyedStateBackend::GetOrCreate(dataflow::KeyGroupId kg,
                                           dataflow::KeyT key) {
   DRRS_CHECK(kg < num_key_groups_);
-  return &groups_[kg][key];
+  StateCell* cell = &groups_[kg][key];
+  // Pessimistic journal entry: the caller holds a mutable pointer and may
+  // grow/shrink the cell before the next accounting read. A fresh cell has
+  // acct_bytes == 0, so the flush also picks up its initial footprint.
+  touched_.emplace_back(kg, cell);
+  return cell;
 }
 
 StateCell* KeyedStateBackend::Get(dataflow::KeyGroupId kg,
@@ -17,15 +22,36 @@ StateCell* KeyedStateBackend::Get(dataflow::KeyGroupId kg,
   DRRS_CHECK(kg < num_key_groups_);
   auto it = groups_[kg].find(key);
   if (it == groups_[kg].end()) return nullptr;
+  touched_.emplace_back(kg, &it->second);
   return &it->second;
+}
+
+void KeyedStateBackend::FlushAccounting() const {
+  for (const auto& [kg, cell] : touched_) {
+    group_bytes_[kg] += cell->nominal_bytes - cell->acct_bytes;
+    cell->acct_bytes = cell->nominal_bytes;
+  }
+  touched_.clear();
+}
+
+void KeyedStateBackend::DebugRecount() const {
+  for (dataflow::KeyGroupId kg = 0; kg < num_key_groups_; ++kg) {
+    uint64_t actual = 0;
+    for (const auto& [key, cell] : groups_[kg]) actual += cell.nominal_bytes;
+    DRRS_CHECK(actual == group_bytes_[kg])
+        << "state accounting drift in key-group " << kg << ": counter says "
+        << group_bytes_[kg] << ", rescan says " << actual;
+  }
 }
 
 KeyGroupState KeyedStateBackend::ExtractKeyGroup(dataflow::KeyGroupId kg) {
   DRRS_CHECK(kg < num_key_groups_);
+  FlushAccounting();
   KeyGroupState out;
   out.key_group = kg;
   out.cells = std::move(groups_[kg]);
   groups_[kg].clear();
+  group_bytes_[kg] = 0;
   owned_.erase(kg);
   return out;
 }
@@ -35,11 +61,13 @@ KeyGroupState KeyedStateBackend::ExtractSubKeyGroup(dataflow::KeyGroupId kg,
                                                     uint32_t fanout) {
   DRRS_CHECK(kg < num_key_groups_);
   DRRS_CHECK(fanout > 0 && sub < fanout);
+  FlushAccounting();
   KeyGroupState out;
   out.key_group = kg;
   auto& cells = groups_[kg];
   for (auto it = cells.begin(); it != cells.end();) {
     if (HashKey(it->first ^ 0x5BD1E995) % fanout == sub) {
+      group_bytes_[kg] -= it->second.nominal_bytes;
       out.cells.emplace(it->first, std::move(it->second));
       it = cells.erase(it);
     } else {
@@ -51,22 +79,30 @@ KeyGroupState KeyedStateBackend::ExtractSubKeyGroup(dataflow::KeyGroupId kg,
 
 void KeyedStateBackend::InstallKeyGroup(KeyGroupState state) {
   DRRS_CHECK(state.key_group < num_key_groups_);
+  FlushAccounting();
   auto& cells = groups_[state.key_group];
+  uint64_t& bytes = group_bytes_[state.key_group];
   for (auto& [key, cell] : state.cells) {
-    cells[key] = std::move(cell);
+    auto [it, inserted] = cells.try_emplace(key);
+    if (!inserted) bytes -= it->second.nominal_bytes;
+    it->second = std::move(cell);
+    it->second.acct_bytes = it->second.nominal_bytes;
+    bytes += it->second.nominal_bytes;
   }
   owned_.insert(state.key_group);
 }
 
 uint64_t KeyedStateBackend::KeyGroupBytes(dataflow::KeyGroupId kg) const {
-  uint64_t total = 0;
-  for (const auto& [key, cell] : groups_[kg]) total += cell.nominal_bytes;
-  return total;
+  FlushAccounting();
+  if (debug_recount_) DebugRecount();
+  return group_bytes_[kg];
 }
 
 uint64_t KeyedStateBackend::TotalBytes() const {
+  FlushAccounting();
+  if (debug_recount_) DebugRecount();
   uint64_t total = 0;
-  for (dataflow::KeyGroupId kg : owned_) total += KeyGroupBytes(kg);
+  for (dataflow::KeyGroupId kg : owned_) total += group_bytes_[kg];
   return total;
 }
 
@@ -89,7 +125,9 @@ std::vector<KeyGroupState> KeyedStateBackend::Snapshot() const {
 }
 
 void KeyedStateBackend::Restore(std::vector<KeyGroupState> snapshot) {
+  touched_.clear();  // pointers below are about to be invalidated
   for (auto& g : groups_) g.clear();
+  for (auto& b : group_bytes_) b = 0;
   owned_.clear();
   for (auto& s : snapshot) InstallKeyGroup(std::move(s));
 }

@@ -26,6 +26,9 @@ struct StateCell {
   int64_t last_value = 0;
   std::vector<std::pair<sim::SimTime, int64_t>> windows;
   uint64_t nominal_bytes = 64;
+  /// Bytes last folded into the owning backend's per-group counter; managed
+  /// by KeyedStateBackend's incremental accounting, not by operators.
+  uint64_t acct_bytes = 0;
 
   /// Default size model: fixed envelope plus 16 bytes per open window pane.
   void RecomputeBytes(uint64_t base = 64) {
@@ -54,7 +57,9 @@ struct KeyGroupState {
 class KeyedStateBackend {
  public:
   explicit KeyedStateBackend(uint32_t num_key_groups)
-      : num_key_groups_(num_key_groups), groups_(num_key_groups) {}
+      : num_key_groups_(num_key_groups),
+        groups_(num_key_groups),
+        group_bytes_(num_key_groups, 0) {}
 
   uint32_t num_key_groups() const { return num_key_groups_; }
 
@@ -107,6 +112,12 @@ class KeyedStateBackend {
   }
 
   /// Total serialized size across owned key-groups (metrics sampling).
+  ///
+  /// Incremental accounting makes this O(#key-groups), independent of the
+  /// number of keys: per-group byte counters are kept up to date lazily from
+  /// the touched-cell journal (see FlushAccounting), so a metrics sample
+  /// costs one pass over the cells *accessed since the previous sample*
+  /// instead of a rescan of every cell.
   uint64_t TotalBytes() const;
   uint64_t TotalKeys() const;
 
@@ -116,10 +127,31 @@ class KeyedStateBackend {
   /// Replace all local state with a snapshot (restore path).
   void Restore(std::vector<KeyGroupState> snapshot);
 
+  /// Debug mode: every TotalBytes()/KeyGroupBytes() read re-derives the
+  /// counters with a full scan and aborts on divergence. Used by tests to
+  /// pin the incremental accounting to the ground truth.
+  void set_debug_recount(bool v) { debug_recount_ = v; }
+
  private:
+  /// Fold pending byte deltas of handed-out cells into the per-group
+  /// counters. Cells are journaled pessimistically on every Get/GetOrCreate
+  /// (a mutable pointer escape may resize the cell); the journal is cleared
+  /// here. Duplicate entries are harmless: each folds its delta-so-far and
+  /// re-baselines `acct_bytes`.
+  void FlushAccounting() const;
+  void DebugRecount() const;
+
   uint32_t num_key_groups_;
   std::vector<std::unordered_map<dataflow::KeyT, StateCell>> groups_;
   std::unordered_set<dataflow::KeyGroupId> owned_;
+
+  /// Accounted bytes per key-group (valid after FlushAccounting).
+  mutable std::vector<uint64_t> group_bytes_;
+  /// Journal of cells whose pointer escaped since the last flush. Pointers
+  /// are stable (node-based map) and the journal is flushed before any
+  /// operation that erases or overwrites cells.
+  mutable std::vector<std::pair<dataflow::KeyGroupId, StateCell*>> touched_;
+  bool debug_recount_ = false;
 };
 
 }  // namespace drrs::state
