@@ -74,7 +74,7 @@ void RunWorkload(const std::string& workload, const BenchArgs& args) {
 int main(int argc, char** argv) {
   BenchArgs args = BenchArgs::Parse(argc, argv);
   std::printf("DRRS reproduction — Fig 11 (throughput comparison)\n");
-  for (const std::string& w : {"q7", "q8", "twitch"}) {
+  for (const char* w : {"q7", "q8", "twitch"}) {
     RunWorkload(w, args);
   }
   return 0;

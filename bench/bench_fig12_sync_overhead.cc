@@ -33,12 +33,12 @@ int main(int argc, char** argv) {
       "dependency-related overhead)\n\n");
   std::printf("%-8s %-12s %26s %26s\n", "workload", "system",
               "cum-propagation(ms)", "avg-dependency(ms)");
-  for (const std::string& w : {"q7", "q8", "twitch"}) {
+  for (const char* w : {"q7", "q8", "twitch"}) {
     for (SystemKind kind :
          {SystemKind::kDrrs, SystemKind::kMegaphone, SystemKind::kMeces}) {
       auto spec = BuildByName(w, args.scale);
       auto r = RunExperiment(spec, BenchSetups::Config(kind));
-      std::printf("%-8s %-12s %26.1f %26.1f\n", w.c_str(), r.system.c_str(),
+      std::printf("%-8s %-12s %26.1f %26.1f\n", w, r.system.c_str(),
                   sim::ToMillis(r.cumulative_propagation),
                   r.avg_dependency_us / 1000.0);
     }

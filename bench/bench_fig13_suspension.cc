@@ -27,7 +27,8 @@ namespace sim = drrs::sim;
 int main(int argc, char** argv) {
   BenchArgs args = BenchArgs::Parse(argc, argv);
   std::printf("DRRS reproduction — Fig 13 (cumulative suspension time)\n\n");
-  for (const std::string& w : {"q7", "q8", "twitch"}) {
+  const std::string workloads[] = {"q7", "q8", "twitch"};
+  for (const std::string& w : workloads) {
     std::printf("=== %s ===\n", w.c_str());
     std::printf("%-12s %22s %28s\n", "system", "cum-suspension(ms)",
                 "unit transfers (avg/max)");

@@ -5,12 +5,7 @@
 #include <utility>
 
 #include "common/logging.h"
-#include "scaling/drrs/drrs.h"
-#include "scaling/meces.h"
-#include "scaling/otfs.h"
-#include "scaling/planner.h"
-#include "scaling/stop_restart.h"
-#include "scaling/unbound.h"
+#include "scaling/scale_service.h"
 
 namespace drrs::harness {
 
@@ -42,40 +37,41 @@ const char* SystemName(SystemKind kind) {
   return "?";
 }
 
-std::unique_ptr<scaling::ScalingStrategy> MakeStrategy(
-    SystemKind kind, runtime::ExecutionGraph* graph) {
+scaling::Mechanism MechanismFor(SystemKind kind) {
   switch (kind) {
     case SystemKind::kNoScale:
-      return nullptr;
+      break;  // no mechanism; callers must not ask
     case SystemKind::kDrrs:
-      return std::make_unique<scaling::DrrsStrategy>(
-          graph, scaling::FullDrrsOptions(), "drrs");
+      return scaling::Mechanism::kDrrs;
     case SystemKind::kDrrsDR:
-      return std::make_unique<scaling::DrrsStrategy>(
-          graph, scaling::DrOnlyOptions(), "drrs-dr");
+      return scaling::Mechanism::kDrrsDR;
     case SystemKind::kDrrsSchedule:
-      return std::make_unique<scaling::DrrsStrategy>(
-          graph, scaling::ScheduleOnlyOptions(), "drrs-schedule");
+      return scaling::Mechanism::kDrrsSchedule;
     case SystemKind::kDrrsSubscale:
-      return std::make_unique<scaling::DrrsStrategy>(
-          graph, scaling::SubscaleOnlyOptions(), "drrs-subscale");
+      return scaling::Mechanism::kDrrsSubscale;
     case SystemKind::kMegaphone:
-      return std::make_unique<scaling::DrrsStrategy>(
-          graph, scaling::MegaphoneOptions(), "megaphone");
+      return scaling::Mechanism::kMegaphone;
     case SystemKind::kMeces:
-      return std::make_unique<scaling::MecesStrategy>(graph);
+      return scaling::Mechanism::kMeces;
     case SystemKind::kOtfsFluid:
-      return std::make_unique<scaling::OtfsStrategy>(
-          graph, scaling::OtfsStrategy::MigrationMode::kFluid);
+      return scaling::Mechanism::kOtfsFluid;
     case SystemKind::kOtfsAllAtOnce:
-      return std::make_unique<scaling::OtfsStrategy>(
-          graph, scaling::OtfsStrategy::MigrationMode::kAllAtOnce);
+      return scaling::Mechanism::kOtfsAllAtOnce;
     case SystemKind::kUnbound:
-      return std::make_unique<scaling::UnboundStrategy>(graph);
+      return scaling::Mechanism::kUnbound;
     case SystemKind::kStopRestart:
-      return std::make_unique<scaling::StopRestartStrategy>(graph);
+      return scaling::Mechanism::kStopRestart;
   }
-  return nullptr;
+  DRRS_CHECK(false) << "no mechanism for system kind";
+  return scaling::Mechanism::kDrrs;
+}
+
+std::unique_ptr<scaling::ScalingStrategy> MakeStrategy(
+    SystemKind kind, runtime::ExecutionGraph* graph) {
+  if (kind == SystemKind::kNoScale) return nullptr;
+  scaling::ScaleService::Options options;
+  options.mechanism = MechanismFor(kind);
+  return scaling::MakeMechanismStrategy(options.mechanism, graph, options);
 }
 
 ExperimentResult RunExperiment(const workloads::WorkloadSpec& workload,
@@ -87,17 +83,20 @@ ExperimentResult RunExperiment(const workloads::WorkloadSpec& workload,
   Status st = graph.Build();
   DRRS_CHECK(st.ok()) << st.ToString();
 
-  std::unique_ptr<scaling::ScalingStrategy> strategy =
-      MakeStrategy(config.system, &graph);
-
+  // Every mechanism runs behind the same control plane (ScaleService).
+  std::optional<scaling::ScaleService> service;
+  scaling::ScalingStrategy* strategy = nullptr;
   dataflow::OperatorId op = workload.scaled_op;
-  if (strategy != nullptr) {
-    sim.ScheduleAt(config.scale_at, [&graph, &strategy, op, &config]() {
-      scaling::ScalePlan plan =
-          scaling::PlanRescale(&graph, op, config.target_parallelism);
-      Status s = strategy->StartScale(plan);
+  if (config.system != SystemKind::kNoScale) {
+    scaling::ScaleService::Options service_options;
+    service_options.mechanism = MechanismFor(config.system);
+    service.emplace(&graph, service_options);
+    strategy = service->Prepare(op);
+    DRRS_CHECK(strategy != nullptr) << "workload scaled_op not rescalable";
+    sim.ScheduleAt(config.scale_at, [&service, op, &config]() {
+      Status s = service->RequestRescale(op, config.target_parallelism);
       if (!s.ok()) {
-        DRRS_LOG(Error) << "StartScale failed: " << s.ToString();
+        DRRS_LOG(Error) << "RequestRescale failed: " << s.ToString();
       }
     });
   }

@@ -7,7 +7,7 @@
 
 #include "metrics/metrics_hub.h"
 #include "runtime/execution_graph.h"
-#include "scaling/strategy.h"
+#include "scaling/scale_service.h"
 #include "sim/simulator.h"
 #include "workloads/workloads.h"
 
@@ -30,7 +30,13 @@ enum class SystemKind {
 
 const char* SystemName(SystemKind kind);
 
-/// Build a strategy for `kind` over `graph` (null for kNoScale).
+/// The scaling::Mechanism behind `kind`. Must not be called with kNoScale,
+/// which has no mechanism.
+scaling::Mechanism MechanismFor(SystemKind kind);
+
+/// Build a standalone strategy for `kind` over `graph` (null for kNoScale).
+/// RunExperiment itself drives the mechanism through a ScaleService; this
+/// factory exists for tests that exercise a strategy directly.
 std::unique_ptr<scaling::ScalingStrategy> MakeStrategy(
     SystemKind kind, runtime::ExecutionGraph* graph);
 

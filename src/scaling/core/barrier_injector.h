@@ -1,0 +1,71 @@
+#ifndef DRRS_SCALING_CORE_BARRIER_INJECTOR_H_
+#define DRRS_SCALING_CORE_BARRIER_INJECTOR_H_
+
+#include <set>
+#include <vector>
+
+#include "dataflow/stream_element.h"
+#include "runtime/execution_graph.h"
+#include "scaling/scale_plan.h"
+
+namespace drrs::scaling {
+
+/// \brief Shared signal-injection machinery: routing confirmation at the
+/// predecessors plus every barrier shape the strategies use — topology-wide
+/// coupled broadcast (OTFS), per-source coupled barriers (Meces, DRRS
+/// ablations) and the paper's decoupled trigger/confirm pair with
+/// output-cache redirection (Section III-A) and checkpoint integration
+/// (Section IV-C).
+class BarrierInjector {
+ public:
+  explicit BarrierInjector(runtime::ExecutionGraph* graph) : graph_(graph) {}
+
+  BarrierInjector(const BarrierInjector&) = delete;
+  BarrierInjector& operator=(const BarrierInjector&) = delete;
+
+  static dataflow::StreamElement Make(dataflow::ElementKind kind,
+                                      dataflow::ScaleId scale,
+                                      dataflow::SubscaleId subscale,
+                                      dataflow::InstanceId from);
+
+  /// Point the migrating key-groups at their new owners on one hash edge.
+  static void UpdateRouting(runtime::OutputEdge* edge,
+                            const std::vector<Migration>& migrations);
+  static void UpdateRouting(runtime::OutputEdge* edge, const Subscale& s);
+
+  /// UpdateRouting on every hash predecessor edge of `op`.
+  void UpdateRoutingAtPredecessors(dataflow::OperatorId op,
+                                   const std::vector<Migration>& migrations);
+
+  /// Operators from which `op` is reachable (coupled signals propagate
+  /// through this closure, Section II-B).
+  std::set<dataflow::OperatorId> UpstreamClosure(dataflow::OperatorId op) const;
+
+  /// Forward `barrier` (stamped with `task`'s id) over every output channel
+  /// leading toward `target_op`, directly or through `upstream` operators.
+  void Broadcast(runtime::Task* task, dataflow::OperatorId target_op,
+                 const std::set<dataflow::OperatorId>& upstream,
+                 const dataflow::StreamElement& barrier);
+
+  /// Coupled signal on the FIFO channel to subtask `to_subtask`: one barrier
+  /// doubling as routing confirmation and migration trigger.
+  static void InjectCoupled(runtime::OutputEdge* edge, uint32_t to_subtask,
+                            dataflow::StreamElement barrier);
+
+  /// Inject subscale `s` of scale `scale` at predecessor `pred`: confirm the
+  /// routing update, then either a coupled barrier (sender-side alignment)
+  /// or the decoupled trigger/confirm pair with E_p records redirected out
+  /// of the output cache — concluding at a cached checkpoint barrier when
+  /// one is present (Section IV-C, Fig 9a: the integrated barrier rides
+  /// behind it with `value == 1`).
+  void InjectSubscale(runtime::Task* pred, dataflow::OperatorId op,
+                      const Subscale& s, dataflow::ScaleId scale,
+                      bool decoupled);
+
+ private:
+  runtime::ExecutionGraph* graph_;
+};
+
+}  // namespace drrs::scaling
+
+#endif  // DRRS_SCALING_CORE_BARRIER_INJECTOR_H_

@@ -1,0 +1,38 @@
+#include "scaling/core/scale_context.h"
+
+#include "common/logging.h"
+
+namespace drrs::scaling {
+
+dataflow::ScaleId ScaleContext::BeginScale() {
+  dataflow::ScaleId id = next_scale_id_++;
+  session_ = TransferSession(&transfer_, id);
+  active_ = true;
+  hub_->scaling().RecordScaleStart(graph_->sim()->now());
+  return id;
+}
+
+void ScaleContext::AttachHook(runtime::Task* task, runtime::TaskHook* hook) {
+  task->set_hook(hook);
+  hooked_.push_back(task);
+}
+
+void ScaleContext::EndScale() {
+  if (session_.valid()) {
+    DRRS_CHECK(session_.in_flight() == 0)
+        << "state transfer leak: " << session_.in_flight()
+        << " chunk(s) of scale " << session_.scale()
+        << " still in transit at completion";
+  }
+  hub_->scaling().RecordScaleEnd(graph_->sim()->now());
+  for (runtime::Task* t : hooked_) {
+    t->set_hook(nullptr);
+    t->WakeUp();
+  }
+  hooked_.clear();
+  open_subscales_.clear();
+  active_ = false;
+  if (on_idle_) on_idle_();
+}
+
+}  // namespace drrs::scaling

@@ -1,0 +1,63 @@
+#include "scaling/core/scaling_rail.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace drrs::scaling {
+
+using dataflow::ElementKind;
+using dataflow::StreamElement;
+
+net::Channel* ScalingRails::Open(runtime::Task* from, runtime::Task* to,
+                                 bool seed_watermark) {
+  net::Channel* rail = graph_->GetOrCreateScalingChannel(from, to);
+  if (by_source_[from->id()].insert(rail).second && seed_watermark) {
+    SeedWatermark(rail, from);
+  }
+  return rail;
+}
+
+void ScalingRails::SeedWatermark(net::Channel* rail, runtime::Task* from) {
+  StreamElement wm = dataflow::MakeWatermark(
+      std::max<sim::SimTime>(0, from->current_watermark()));
+  wm.from_instance = from->id();
+  rail->Push(std::move(wm));
+}
+
+void ScalingRails::ForwardWatermark(runtime::Task* from, sim::SimTime wm) {
+  auto it = by_source_.find(from->id());
+  if (it == by_source_.end()) return;
+  for (net::Channel* rail : it->second) {
+    StreamElement w = dataflow::MakeWatermark(wm);
+    w.from_instance = from->id();
+    rail->Push(std::move(w));
+  }
+}
+
+void ScalingRails::PushComplete(net::Channel* rail, dataflow::InstanceId from,
+                                dataflow::ScaleId scale,
+                                dataflow::SubscaleId subscale) {
+  StreamElement done;
+  done.kind = ElementKind::kScaleComplete;
+  done.scale_id = scale;
+  done.subscale_id = subscale;
+  done.from_instance = from;
+  rail->Push(std::move(done));
+}
+
+void ScalingRails::Release(net::Channel* rail) {
+  auto it = by_source_.find(rail->sender_id());
+  if (it == by_source_.end() || it->second.erase(rail) == 0) return;
+  graph_->task(rail->receiver_id())->ClearSideWatermark(rail->sender_id());
+}
+
+void ScalingRails::ReleaseAll() {
+  for (const auto& [from, rails] : by_source_) {
+    for (net::Channel* rail : rails) {
+      graph_->task(rail->receiver_id())->ClearSideWatermark(from);
+    }
+  }
+  by_source_.clear();
+}
+
+}  // namespace drrs::scaling

@@ -1,0 +1,114 @@
+#include "scaling/core/state_transfer.h"
+
+#include <utility>
+
+#include "common/logging.h"
+
+namespace drrs::scaling {
+
+using dataflow::ElementKind;
+using dataflow::StreamElement;
+
+namespace {
+/// Wire envelope for a state chunk even when the key-group is empty.
+constexpr uint64_t kChunkEnvelopeBytes = 256;
+}  // namespace
+
+uint64_t StateTransfer::Enqueue(runtime::Task* from, net::Channel* rail,
+                                state::KeyGroupState state, bool whole,
+                                const StreamElement& proto, bool priority) {
+  uint64_t bytes = state.TotalBytes() + kChunkEnvelopeBytes;
+  uint64_t id = next_id_++;
+  in_transit_[id] = Transit{std::move(state), whole, proto.scale_id};
+  StreamElement chunk = proto;
+  chunk.kind = ElementKind::kStateChunk;
+  chunk.from_instance = from->id();
+  chunk.seq = id;
+  chunk.chunk_bytes = bytes;
+  if (priority) {
+    rail->PushPriority(std::move(chunk));
+  } else {
+    rail->Push(std::move(chunk));
+  }
+  return bytes;
+}
+
+uint64_t StateTransfer::SendKeyGroup(runtime::Task* from, net::Channel* rail,
+                                     dataflow::KeyGroupId kg,
+                                     dataflow::ScaleId scale,
+                                     dataflow::SubscaleId subscale,
+                                     bool priority) {
+  DRRS_CHECK(from->state() != nullptr);
+  DRRS_CHECK(from->state()->OwnsKeyGroup(kg))
+      << "instance " << from->id() << " does not own key-group " << kg;
+  StreamElement proto;
+  proto.scale_id = scale;
+  proto.subscale_id = subscale;
+  proto.key_group = kg;
+  return Enqueue(from, rail, from->state()->ExtractKeyGroup(kg), true, proto,
+                 priority);
+}
+
+uint64_t StateTransfer::SendSubKeyGroup(runtime::Task* from,
+                                        net::Channel* rail,
+                                        dataflow::KeyGroupId kg, uint32_t sub,
+                                        uint32_t fanout,
+                                        dataflow::ScaleId scale,
+                                        dataflow::SubscaleId subscale,
+                                        bool priority) {
+  DRRS_CHECK(from->state() != nullptr);
+  StreamElement proto;
+  proto.scale_id = scale;
+  proto.subscale_id = subscale;
+  proto.key_group = kg;
+  proto.sub_key_group = sub;
+  return Enqueue(from, rail, from->state()->ExtractSubKeyGroup(kg, sub, fanout),
+                 false, proto, priority);
+}
+
+bool StateTransfer::Install(runtime::Task* to, const StreamElement& chunk) {
+  DRRS_CHECK(chunk.kind == ElementKind::kStateChunk);
+  auto it = in_transit_.find(chunk.seq);
+  if (it == in_transit_.end()) {
+    // A chunk whose scale was aborted mid-flight is dropped, once.
+    auto aborted = aborted_.find(chunk.seq);
+    DRRS_CHECK(aborted != aborted_.end())
+        << "unknown state transfer " << chunk.seq;
+    aborted_.erase(aborted);
+    return false;
+  }
+  Transit transit = std::move(it->second);
+  in_transit_.erase(it);
+  DRRS_CHECK(to->state() != nullptr);
+  transit.state.key_group = chunk.key_group;
+  if (transit.whole_group) {
+    to->state()->InstallKeyGroup(std::move(transit.state));
+  } else {
+    // Merge cells only; the caller manages (sub-)ownership.
+    for (auto& [key, cell] : transit.state.cells) {
+      *to->state()->GetOrCreate(chunk.key_group, key) = std::move(cell);
+    }
+  }
+  return true;
+}
+
+void StateTransfer::AbortScale(dataflow::ScaleId scale) {
+  for (auto it = in_transit_.begin(); it != in_transit_.end();) {
+    if (it->second.scale == scale) {
+      aborted_.insert(it->first);
+      it = in_transit_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+size_t StateTransfer::in_transit_count(dataflow::ScaleId scale) const {
+  size_t n = 0;
+  for (const auto& [id, transit] : in_transit_) {
+    if (transit.scale == scale) ++n;
+  }
+  return n;
+}
+
+}  // namespace drrs::scaling

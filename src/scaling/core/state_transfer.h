@@ -1,0 +1,109 @@
+#ifndef DRRS_SCALING_CORE_STATE_TRANSFER_H_
+#define DRRS_SCALING_CORE_STATE_TRANSFER_H_
+
+#include <cstdint>
+#include <set>
+#include <unordered_map>
+
+#include "dataflow/stream_element.h"
+#include "net/channel.h"
+#include "runtime/task.h"
+#include "state/keyed_state.h"
+
+namespace drrs::scaling {
+
+/// \brief Moves keyed state between instances as sized chunk elements over
+/// scaling-path channels. The serialized cells travel out-of-band in an
+/// in-transit registry; the chunk element models the wire cost.
+///
+/// Every entry is tagged with the scaling operation (ScaleId) that created
+/// it, so a superseded scale can be cleaned up with AbortScale() and the
+/// shared ScaleContext can assert leak-freedom (`in_transit_count(scale) ==
+/// 0`) at strategy completion. Prefer the TransferSession view, which binds
+/// the scale id once.
+class StateTransfer {
+ public:
+  /// Extract the whole key-group from `from` (releasing its ownership) and
+  /// enqueue a chunk on `rail`. Returns the chunk's modeled byte size.
+  uint64_t SendKeyGroup(runtime::Task* from, net::Channel* rail,
+                        dataflow::KeyGroupId kg, dataflow::ScaleId scale,
+                        dataflow::SubscaleId subscale, bool priority = false);
+
+  /// Extract one Meces-style sub-key-group (ownership flags untouched).
+  uint64_t SendSubKeyGroup(runtime::Task* from, net::Channel* rail,
+                           dataflow::KeyGroupId kg, uint32_t sub,
+                           uint32_t fanout, dataflow::ScaleId scale,
+                           dataflow::SubscaleId subscale,
+                           bool priority = false);
+
+  /// Install a received chunk into `to`. Whole-key-group chunks acquire
+  /// ownership; sub-key-group chunks merge cells without flipping it.
+  /// Returns false (and installs nothing) when the chunk belongs to a
+  /// transfer dropped by AbortScale(); unknown transfers abort the process.
+  bool Install(runtime::Task* to, const dataflow::StreamElement& chunk);
+
+  /// Drop every in-transit entry of `scale` (superseded mid-flight). The
+  /// extracted state is discarded — the superseding plan recomputes
+  /// migrations from live ownership, so orphaned chunks must not install.
+  void AbortScale(dataflow::ScaleId scale);
+
+  size_t in_transit_count() const { return in_transit_.size(); }
+  /// Entries belonging to one scaling operation (leak check granularity).
+  size_t in_transit_count(dataflow::ScaleId scale) const;
+
+ private:
+  uint64_t Enqueue(runtime::Task* from, net::Channel* rail,
+                   state::KeyGroupState state, bool whole,
+                   const dataflow::StreamElement& proto, bool priority);
+
+  uint64_t next_id_ = 1;
+  struct Transit {
+    state::KeyGroupState state;
+    bool whole_group = false;
+    dataflow::ScaleId scale = 0;
+  };
+  std::unordered_map<uint64_t, Transit> in_transit_;
+  /// Transfer ids dropped by AbortScale whose chunk element is still on the
+  /// wire; Install consumes and ignores them.
+  std::set<uint64_t> aborted_;
+};
+
+/// \brief View of a StateTransfer bound to one scaling operation: the
+/// session API strategies use, so every send is tagged with the right
+/// ScaleId and the ScaleContext teardown can account per scale.
+class TransferSession {
+ public:
+  TransferSession() = default;
+  TransferSession(StateTransfer* transfer, dataflow::ScaleId scale)
+      : transfer_(transfer), scale_(scale) {}
+
+  uint64_t SendKeyGroup(runtime::Task* from, net::Channel* rail,
+                        dataflow::KeyGroupId kg, dataflow::SubscaleId subscale,
+                        bool priority = false) {
+    return transfer_->SendKeyGroup(from, rail, kg, scale_, subscale, priority);
+  }
+  uint64_t SendSubKeyGroup(runtime::Task* from, net::Channel* rail,
+                           dataflow::KeyGroupId kg, uint32_t sub,
+                           uint32_t fanout, dataflow::SubscaleId subscale,
+                           bool priority = false) {
+    return transfer_->SendSubKeyGroup(from, rail, kg, sub, fanout, scale_,
+                                      subscale, priority);
+  }
+  bool Install(runtime::Task* to, const dataflow::StreamElement& chunk) {
+    return transfer_->Install(to, chunk);
+  }
+  void Abort() { transfer_->AbortScale(scale_); }
+
+  /// Chunks of this session still on the wire (0 at a leak-free teardown).
+  size_t in_flight() const { return transfer_->in_transit_count(scale_); }
+  dataflow::ScaleId scale() const { return scale_; }
+  bool valid() const { return transfer_ != nullptr; }
+
+ private:
+  StateTransfer* transfer_ = nullptr;
+  dataflow::ScaleId scale_ = 0;
+};
+
+}  // namespace drrs::scaling
+
+#endif  // DRRS_SCALING_CORE_STATE_TRANSFER_H_

@@ -80,7 +80,7 @@ class DrrsTaskHook : public runtime::TaskHook {
     return strategy_->HandleIsProcessable(task, channel, e);
   }
   void OnWatermarkAdvance(Task* task, sim::SimTime wm) override {
-    strategy_->HandleWatermarkAdvance(task, wm);
+    strategy_->core_.rails().ForwardWatermark(task, wm);
   }
   bool OnCheckpointBarrier(Task* task, net::Channel* channel,
                            const StreamElement& e) override {
@@ -193,8 +193,8 @@ DrrsStrategy::InstanceCtx& DrrsStrategy::CtxOf(Task* task) {
 }
 
 Status DrrsStrategy::StartScale(const ScalePlan& plan) {
-  DRRS_RETURN_NOT_OK(ValidatePlan(plan, /*check_ownership=*/done_));
-  if (!done_) {
+  DRRS_RETURN_NOT_OK(ValidatePlan(plan, /*check_ownership=*/done()));
+  if (!done()) {
     if (plan.op != plan_.op) {
       return Status::FailedPrecondition(
           "another operator is scaling; concurrent ops on distinct operators "
@@ -205,14 +205,14 @@ Status DrrsStrategy::StartScale(const ScalePlan& plan) {
     queue_.clear();
     pending_plan_ = plan;
     has_pending_plan_ = true;
-    if (active_.empty()) FinishScale();
+    if (core_.open_subscales().empty()) FinishScale();
     return Status::OK();
   }
   // Section IV-C: scaling and fault tolerance never start concurrently —
   // wait out an in-flight checkpoint, then begin.
   runtime::CheckpointCoordinator* ckpt = graph_->checkpoint_coordinator();
   if (ckpt != nullptr && ckpt->AnyIncomplete()) {
-    done_ = false;
+    core_.MarkActive();
     ScalePlan deferred = plan;
     WaitForCheckpointThenBegin(deferred);
     return Status::OK();
@@ -237,9 +237,7 @@ void DrrsStrategy::WaitForCheckpointThenBegin(const ScalePlan& plan) {
 
 void DrrsStrategy::BeginPlan(const ScalePlan& plan) {
   plan_ = plan;
-  done_ = false;
-  scale_id_ = next_scale_id_++;
-  hub_->scaling().RecordScaleStart(graph_->sim()->now());
+  core_.BeginScale();
   EnsureInstances(plan_);
   predecessors_ = graph_->PredecessorTasksOf(plan_.op);
   DRRS_CHECK(!predecessors_.empty());
@@ -260,7 +258,7 @@ void DrrsStrategy::BeginPlan(const ScalePlan& plan) {
   }
 
   for (Task* t : graph_->instances_of(plan_.op)) {
-    t->set_hook(hook_.get());
+    core_.AttachHook(t, hook_.get());
     if (options_.scheduling != Scheduling::kNone) {
       t->InstallInputHandler(std::make_unique<DrrsInputHandler>(&options_));
     }
@@ -280,13 +278,14 @@ void DrrsStrategy::BeginPlan(const ScalePlan& plan) {
 }
 
 bool DrrsStrategy::CanLaunch(const Subscale& s) const {
+  const std::set<dataflow::SubscaleId>& active = core_.open_subscales();
   if (options_.global_concurrency > 0 &&
-      active_.size() >= options_.global_concurrency) {
+      active.size() >= options_.global_concurrency) {
     return false;
   }
   auto active_touching = [&](uint32_t subtask) {
     uint32_t count = 0;
-    for (dataflow::SubscaleId id : active_) {
+    for (dataflow::SubscaleId id : active) {
       const Subscale& a = subscales_[subscale_index_.at(id)];
       if (a.from == subtask || a.to == subtask) ++count;
     }
@@ -312,13 +311,13 @@ void DrrsStrategy::TryLaunch() {
 
 void DrrsStrategy::LaunchSubscale(const Subscale& s) {
   sim::SimTime now = graph_->sim()->now();
-  active_.insert(s.id);
+  core_.OpenSubscale(s.id);
   if (!options_.announce_all_signals_upfront) {
     hub_->scaling().RecordSignalInjection(s.id, now);
   }
   Task* src = graph_->instance(plan_.op, s.from);
   Task* dst = graph_->instance(plan_.op, s.to);
-  net::Channel* rail = graph_->GetOrCreateScalingChannel(src, dst);
+  net::Channel* rail = core_.rails().Open(src, dst, /*seed_watermark=*/false);
   // Re-capture predecessors: a concurrently scaling upstream operator may
   // have deployed new instances since the plan began (Section IV-B case 2).
   // They copied their routing from subtask 0 — which already reflects every
@@ -333,7 +332,6 @@ void DrrsStrategy::LaunchSubscale(const Subscale& s) {
   out.rail = rail;
   sc.outgoing[s.id] = std::move(out);
   for (dataflow::KeyGroupId kg : s.key_groups) sc.kg_out[kg] = s.id;
-  sc.rails_out.insert(rail);
 
   InstanceCtx& dc = CtxOf(dst);
   IncomingSubscale in;
@@ -345,79 +343,16 @@ void DrrsStrategy::LaunchSubscale(const Subscale& s) {
   dc.incoming[s.id] = std::move(in);
   for (dataflow::KeyGroupId kg : s.key_groups) dc.kg_in[kg] = s.id;
 
-  // Initialize the destination's side watermark so it cannot fire event-time
+  // (Re-)seed the destination's side watermark so it cannot fire event-time
   // windows ahead of the source while state and re-routed records are in
-  // flight ("duplicated to both input streams", Section III-A).
-  StreamElement wm = dataflow::MakeWatermark(
-      std::max<sim::SimTime>(0, src->current_watermark()));
-  wm.from_instance = src->id();
-  rail->Push(std::move(wm));
+  // flight ("duplicated to both input streams", Section III-A). Every launch
+  // re-seeds, even on an already-open rail: the source may have advanced.
+  ScalingRails::SeedWatermark(rail, src);
 
-  for (Task* pred : predecessors_) InjectAtPredecessor(pred, s);
-}
-
-void DrrsStrategy::InjectAtPredecessor(Task* pred, const Subscale& s) {
-  runtime::OutputEdge* edge = graph_->FindEdgeTo(pred, plan_.op);
-  DRRS_CHECK(edge != nullptr);
-  DRRS_CHECK(edge->partitioning == dataflow::Partitioning::kHash);
-  DRRS_CHECK(s.from < edge->channels.size() && s.to < edge->channels.size());
-
-  for (dataflow::KeyGroupId kg : s.key_groups) {
-    edge->routing.Update(kg, s.to);
+  for (Task* pred : predecessors_) {
+    core_.injector().InjectSubscale(pred, plan_.op, s, core_.scale_id(),
+                                    options_.decoupled_signals);
   }
-  net::Channel* to_old = edge->channels[s.from];
-  net::Channel* to_new = edge->channels[s.to];
-
-  StreamElement confirm;
-  confirm.kind = ElementKind::kConfirmBarrier;
-  confirm.scale_id = scale_id_;
-  confirm.subscale_id = s.id;
-  confirm.from_instance = pred->id();
-
-  if (!options_.decoupled_signals) {
-    // Coupled signal: one FIFO barrier doubling as routing confirmation and
-    // migration trigger (alignment happens at the source instance).
-    to_old->Push(std::move(confirm));
-    return;
-  }
-
-  const std::set<dataflow::KeyGroupId> kgs(s.key_groups.begin(),
-                                           s.key_groups.end());
-  const auto& key_space = graph_->key_space();
-  auto in_subscale = [&kgs, &key_space](const StreamElement& e) {
-    return e.kind == ElementKind::kRecord &&
-           kgs.count(key_space.KeyGroupOf(e.key)) > 0;
-  };
-  auto is_ckpt = [](const StreamElement& e) {
-    return e.kind == ElementKind::kCheckpointBarrier;
-  };
-
-  if (to_old->OutputContains(is_ckpt)) {
-    // Section IV-C, Fig 9a: redirection concludes at the checkpoint barrier
-    // and the signals ride behind it as one integrated barrier (checkpoint,
-    // then trigger, then confirm).
-    std::vector<StreamElement> moved =
-        to_old->ExtractFromOutputBefore(in_subscale, is_ckpt);
-    for (StreamElement& e : moved) to_new->Push(std::move(e));
-    confirm.value = 1;  // integrated: acts as trigger + confirm
-    bool inserted = to_old->InsertAfterFirst(is_ckpt, confirm);
-    DRRS_CHECK(inserted);
-    return;
-  }
-
-  // Normal decoupled injection: redirect bypassed records of the subscale to
-  // the new stream, send the trigger over the bypass path and the confirm at
-  // the front of the output cache (Section III-A, Fig 4a).
-  std::vector<StreamElement> moved = to_old->ExtractFromOutput(in_subscale);
-  for (StreamElement& e : moved) to_new->Push(std::move(e));
-
-  StreamElement trigger;
-  trigger.kind = ElementKind::kTriggerBarrier;
-  trigger.scale_id = scale_id_;
-  trigger.subscale_id = s.id;
-  trigger.from_instance = pred->id();
-  to_old->PushBypass(std::move(trigger));
-  to_old->PushPriority(std::move(confirm));
 }
 
 // ---- source side ----------------------------------------------------------
@@ -448,7 +383,7 @@ void DrrsStrategy::PumpMigration(Task* src, dataflow::SubscaleId id) {
   out.pump_active = true;
   dataflow::KeyGroupId kg = out.to_send.front();
   out.to_send.pop_front();
-  uint64_t bytes = transfer_.SendKeyGroup(src, out.rail, kg, scale_id_, id);
+  uint64_t bytes = core_.session().SendKeyGroup(src, out.rail, kg, id);
   src->ConsumeProcessingTime(static_cast<sim::SimTime>(
       bytes / graph_->config().state_serialize_bytes_per_us));
   hub_->scaling().RecordStateMigrated(id, kg, graph_->sim()->now());
@@ -506,12 +441,7 @@ void DrrsStrategy::MaybeSendComplete(Task* src, dataflow::SubscaleId id) {
     return;
   }
   out.complete_sent = true;
-  StreamElement done;
-  done.kind = ElementKind::kScaleComplete;
-  done.scale_id = scale_id_;
-  done.subscale_id = id;
-  done.from_instance = src->id();
-  out.rail->Push(std::move(done));
+  ScalingRails::PushComplete(out.rail, src->id(), core_.scale_id(), id);
 }
 
 // ---- destination side -----------------------------------------------------
@@ -526,7 +456,7 @@ void DrrsStrategy::OnRailElement(Task* dst, const StreamElement& e) {
   IncomingSubscale& in = it->second;
   switch (e.kind) {
     case ElementKind::kStateChunk:
-      transfer_.Install(dst, e);
+      core_.session().Install(dst, e);
       dst->ConsumeProcessingTime(static_cast<sim::SimTime>(
           e.chunk_bytes / graph_->config().state_serialize_bytes_per_us));
       in.pending_key_groups.erase(e.key_group);
@@ -580,14 +510,13 @@ void DrrsStrategy::FinishSubscale(dataflow::SubscaleId id) {
     if (out.rail == rail) rail_busy = true;
   }
   if (!rail_busy && rail != nullptr) {
-    sc.rails_out.erase(rail);
-    dst->ClearSideWatermark(src->id());
+    core_.rails().Release(rail);
   }
-  active_.erase(id);
+  core_.CloseSubscale(id);
   dst->WakeUp();
   src->WakeUp();
 
-  if (active_.empty() && queue_.empty()) {
+  if (core_.open_subscales().empty() && queue_.empty()) {
     FinishScale();
     return;
   }
@@ -595,18 +524,15 @@ void DrrsStrategy::FinishSubscale(dataflow::SubscaleId id) {
 }
 
 void DrrsStrategy::FinishScale() {
-  hub_->scaling().RecordScaleEnd(graph_->sim()->now());
   for (Task* t : graph_->instances_of(plan_.op)) {
-    t->set_hook(nullptr);
     t->ResetInputHandler();
-    t->WakeUp();
   }
   ctx_.clear();
   subscales_.clear();
   subscale_index_.clear();
   queue_.clear();
-  active_.clear();
-  done_ = true;
+  core_.rails().Reset();  // per-rail release already done in FinishSubscale
+  core_.EndScale();
 
   if (has_pending_plan_) {
     // Supersession: recompute migrations from live ownership.
@@ -748,15 +674,6 @@ bool DrrsStrategy::HandleIsProcessable(Task* task, net::Channel* channel,
     }
   }
   return true;
-}
-
-void DrrsStrategy::HandleWatermarkAdvance(Task* task, sim::SimTime wm) {
-  InstanceCtx& c = CtxOf(task);
-  for (net::Channel* rail : c.rails_out) {
-    StreamElement w = dataflow::MakeWatermark(wm);
-    w.from_instance = task->id();
-    rail->Push(std::move(w));
-  }
 }
 
 bool DrrsStrategy::HandleCheckpointBarrier(Task* task, net::Channel* channel,

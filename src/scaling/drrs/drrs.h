@@ -72,7 +72,8 @@ DrrsOptions SubscaleOnlyOptions();  ///< Fig 14 "Subscale"
 DrrsOptions MegaphoneOptions();     ///< Section V-A Megaphone port
 
 /// \brief The paper's scaling method: Decoupling and Re-routing, Record
-/// Scheduling and Subscale Division over the shared migration machinery.
+/// Scheduling and Subscale Division as a protocol over the shared
+/// scaling/core migration primitives.
 ///
 /// One instance may execute one scaling operation at a time; a StartScale on
 /// the same operator while one is active supersedes it (Section IV-B): the
@@ -87,10 +88,12 @@ class DrrsStrategy : public ScalingStrategy {
   std::string name() const override { return name_; }
   Status StartScale(const ScalePlan& plan) override;
 
+  bool supports_supersession() const override { return true; }
+
   const DrrsOptions& options() const { return options_; }
 
   /// Subscales not yet finished (test/diagnostic).
-  size_t active_subscales() const { return active_.size(); }
+  size_t active_subscales() const { return core_.open_subscales().size(); }
   size_t queued_subscales() const { return queue_.size(); }
 
  private:
@@ -125,7 +128,6 @@ class DrrsStrategy : public ScalingStrategy {
     std::map<dataflow::SubscaleId, OutgoingSubscale> outgoing;
     std::map<dataflow::KeyGroupId, dataflow::SubscaleId> kg_in;
     std::map<dataflow::KeyGroupId, dataflow::SubscaleId> kg_out;
-    std::set<net::Channel*> rails_out;  ///< for watermark forwarding
     std::vector<dataflow::SubscaleId> deferred_triggers;  ///< Section IV-C(b)
   };
 
@@ -135,7 +137,6 @@ class DrrsStrategy : public ScalingStrategy {
   void TryLaunch();
   bool CanLaunch(const Subscale& s) const;
   void LaunchSubscale(const Subscale& s);
-  void InjectAtPredecessor(runtime::Task* pred, const Subscale& s);
   void FinishSubscale(dataflow::SubscaleId id);
   void FinishScale();
 
@@ -162,7 +163,6 @@ class DrrsStrategy : public ScalingStrategy {
                              dataflow::StreamElement& e);
   bool HandleIsProcessable(runtime::Task* task, net::Channel* channel,
                            const dataflow::StreamElement& e);
-  void HandleWatermarkAdvance(runtime::Task* task, sim::SimTime wm);
   bool HandleCheckpointBarrier(runtime::Task* task, net::Channel* channel,
                                const dataflow::StreamElement& e);
 
@@ -173,10 +173,8 @@ class DrrsStrategy : public ScalingStrategy {
 
   // active-scale state
   ScalePlan plan_;
-  dataflow::ScaleId scale_id_ = 0;
   std::vector<Subscale> subscales_;
   std::deque<size_t> queue_;                ///< indexes into subscales_
-  std::set<dataflow::SubscaleId> active_;
   std::map<dataflow::SubscaleId, size_t> subscale_index_;
   std::map<dataflow::InstanceId, InstanceCtx> ctx_;
   std::vector<runtime::Task*> predecessors_;

@@ -1,6 +1,7 @@
 #include "scaling/meces.h"
 
 #include <algorithm>
+#include <set>
 #include <utility>
 
 #include "common/hash.h"
@@ -30,7 +31,7 @@ class MecesTaskHook : public runtime::TaskHook {
     return s_->HandleIsProcessable(task, channel, e);
   }
   void OnWatermarkAdvance(Task* task, sim::SimTime wm) override {
-    s_->HandleWatermarkAdvance(task, wm);
+    s_->core_.rails().ForwardWatermark(task, wm);
   }
   // Ownership is tracked per sub-key-group by the strategy; the engine's
   // key-group-granular check cannot express that.
@@ -51,18 +52,6 @@ MecesStrategy::MecesStrategy(runtime::ExecutionGraph* graph, uint32_t fanout,
 
 MecesStrategy::~MecesStrategy() = default;
 
-net::Channel* MecesStrategy::RailTo(Task* from, Task* to) {
-  net::Channel* rail = graph_->GetOrCreateScalingChannel(from, to);
-  if (rails_out_[from->id()].insert(rail).second) {
-    // Newly opened path: seed the side watermark.
-    StreamElement wm = dataflow::MakeWatermark(
-        std::max<sim::SimTime>(0, from->current_watermark()));
-    wm.from_instance = from->id();
-    rail->Push(std::move(wm));
-  }
-  return rail;
-}
-
 MecesStrategy::UnitView MecesStrategy::DebugUnit(dataflow::KeyT key) const {
   UnitView v;
   dataflow::KeyGroupId kg = graph_->key_space().KeyGroupOf(key);
@@ -78,11 +67,10 @@ MecesStrategy::UnitView MecesStrategy::DebugUnit(dataflow::KeyT key) const {
 
 Status MecesStrategy::StartScale(const ScalePlan& plan) {
   DRRS_RETURN_NOT_OK(ValidatePlan(plan));
-  if (!done_) return Status::FailedPrecondition("scaling already in progress");
+  if (!done()) return Status::FailedPrecondition("scaling already in progress");
   plan_ = plan;
-  done_ = false;
+  core_.BeginScale();
   sim::SimTime now = graph_->sim()->now();
-  hub_->scaling().RecordScaleStart(now);
   hub_->scaling().RecordSignalInjection(0, now);
   EnsureInstances(plan_);
 
@@ -91,7 +79,6 @@ Status MecesStrategy::StartScale(const ScalePlan& plan) {
   barriers_expected_.clear();
   barriers_seen_.clear();
   pump_active_.clear();
-  rails_out_.clear();
   outstanding_fetches_ = 0;
 
   std::set<dataflow::InstanceId> sources_of_state;
@@ -113,10 +100,8 @@ Status MecesStrategy::StartScale(const ScalePlan& plan) {
     }
   }
 
-  hooked_.clear();
   for (Task* t : graph_->instances_of(plan_.op)) {
-    t->set_hook(hook_.get());
-    hooked_.push_back(t);
+    core_.AttachHook(t, hook_.get());
   }
 
   if (plan_.migrations.empty()) {
@@ -126,20 +111,16 @@ Status MecesStrategy::StartScale(const ScalePlan& plan) {
 
   // Single synchronization: all predecessors update routing and emit one
   // barrier per channel to the instances that hold migrating state.
-  std::vector<Task*> preds = graph_->PredecessorTasksOf(plan_.op);
-  for (Task* pred : preds) {
+  for (Task* pred : graph_->PredecessorTasksOf(plan_.op)) {
     runtime::OutputEdge* edge = graph_->FindEdgeTo(pred, plan_.op);
     DRRS_CHECK(edge != nullptr);
-    for (const Migration& m : plan_.migrations) {
-      edge->routing.Update(m.key_group, m.to);
-    }
+    BarrierInjector::UpdateRouting(edge, plan_.migrations);
     for (dataflow::InstanceId src_id : sources_of_state) {
       Task* src = InstanceById(src_id);
-      StreamElement barrier;
-      barrier.kind = ElementKind::kConfirmBarrier;
-      barrier.subscale_id = 0;
-      barrier.from_instance = pred->id();
-      edge->channels[src->subtask_index()]->Push(std::move(barrier));
+      StreamElement barrier = BarrierInjector::Make(
+          ElementKind::kConfirmBarrier, core_.scale_id(), 0, pred->id());
+      BarrierInjector::InjectCoupled(edge, src->subtask_index(),
+                                     std::move(barrier));
       ++barriers_expected_[src_id];
     }
   }
@@ -220,8 +201,8 @@ uint64_t MecesStrategy::TransferUnit(Task* holder, dataflow::KeyGroupId kg,
     hub_->scaling().RecordStateMigrated(0, kg, now);
   }
   hub_->scaling().RecordUnitTransfer(kg, sub);
-  uint64_t bytes = transfer_.SendSubKeyGroup(holder, RailTo(holder, to), kg,
-                                             sub, fanout_, 0, 0, priority);
+  uint64_t bytes = core_.session().SendSubKeyGroup(
+      holder, core_.rails().Open(holder, to), kg, sub, fanout_, 0, priority);
   holder->ConsumeProcessingTime(static_cast<sim::SimTime>(
       bytes / graph_->config().state_serialize_bytes_per_us));
   return bytes;
@@ -231,7 +212,7 @@ bool MecesStrategy::HandleControl(Task* task, net::Channel* /*channel*/,
                                   const StreamElement& e) {
   switch (e.kind) {
     case ElementKind::kStateChunk: {
-      transfer_.Install(task, e);
+      core_.session().Install(task, e);
       task->ConsumeProcessingTime(static_cast<sim::SimTime>(
           e.chunk_bytes / graph_->config().state_serialize_bytes_per_us));
       auto it = units_.find({e.key_group, e.sub_key_group});
@@ -334,18 +315,8 @@ bool MecesStrategy::HandleIsProcessable(Task* task, net::Channel* channel,
   return false;
 }
 
-void MecesStrategy::HandleWatermarkAdvance(Task* task, sim::SimTime wm) {
-  auto it = rails_out_.find(task->id());
-  if (it == rails_out_.end()) return;
-  for (net::Channel* rail : it->second) {
-    StreamElement w = dataflow::MakeWatermark(wm);
-    w.from_instance = task->id();
-    rail->Push(std::move(w));
-  }
-}
-
 void MecesStrategy::MaybeFinish() {
-  if (done_) return;
+  if (done()) return;
   if (outstanding_fetches_ > 0) return;
   for (const auto& [id, expected] : barriers_expected_) {
     auto it = barriers_seen_.find(id);
@@ -357,21 +328,10 @@ void MecesStrategy::MaybeFinish() {
   for (const auto& [id, active] : pump_active_) {
     if (active) return;
   }
-  hub_->scaling().RecordScaleEnd(graph_->sim()->now());
-  for (Task* t : hooked_) {
-    t->set_hook(nullptr);
-    t->WakeUp();
-  }
-  // Release all side-watermark constraints.
-  for (const auto& [from_id, rails] : rails_out_) {
-    for (net::Channel* rail : rails) {
-      graph_->task(rail->receiver_id())->ClearSideWatermark(from_id);
-    }
-  }
-  hooked_.clear();
   units_.clear();
-  rails_out_.clear();
-  done_ = true;
+  core_.EndScale();
+  // Release every side-watermark constraint the rails seeded.
+  core_.rails().ReleaseAll();
 }
 
 }  // namespace drrs::scaling

@@ -6,7 +6,7 @@
 #include <memory>
 #include <set>
 #include <string>
-#include <vector>
+#include <utility>
 
 #include "runtime/task_hook.h"
 #include "scaling/strategy.h"
@@ -78,7 +78,6 @@ class MecesStrategy : public ScalingStrategy {
                      const dataflow::StreamElement& e);
   bool HandleIsProcessable(runtime::Task* task, net::Channel* channel,
                            const dataflow::StreamElement& e);
-  void HandleWatermarkAdvance(runtime::Task* task, sim::SimTime wm);
 
   void IssueFetch(runtime::Task* requester, dataflow::KeyGroupId kg,
                   uint32_t sub);
@@ -91,7 +90,6 @@ class MecesStrategy : public ScalingStrategy {
   runtime::Task* InstanceById(dataflow::InstanceId id) {
     return graph_->task(id);
   }
-  net::Channel* RailTo(runtime::Task* from, runtime::Task* to);
 
   uint32_t fanout_;
   sim::SimTime unit_cooldown_;
@@ -103,8 +101,6 @@ class MecesStrategy : public ScalingStrategy {
   std::map<dataflow::InstanceId, size_t> barriers_expected_;
   std::map<dataflow::InstanceId, size_t> barriers_seen_;
   std::map<dataflow::InstanceId, bool> pump_active_;
-  std::map<dataflow::InstanceId, std::set<net::Channel*>> rails_out_;
-  std::vector<runtime::Task*> hooked_;
   size_t outstanding_fetches_ = 0;
 };
 

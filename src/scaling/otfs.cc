@@ -1,6 +1,5 @@
 #include "scaling/otfs.h"
 
-#include <algorithm>
 #include <utility>
 
 #include "common/logging.h"
@@ -23,7 +22,7 @@ class OtfsTaskHook : public runtime::TaskHook {
     return s_->HandleIsProcessable(task, channel, e);
   }
   void OnWatermarkAdvance(Task* task, sim::SimTime wm) override {
-    s_->HandleWatermarkAdvance(task, wm);
+    s_->core_.rails().ForwardWatermark(task, wm);
   }
 
  private:
@@ -39,33 +38,22 @@ OtfsStrategy::~OtfsStrategy() = default;
 
 Status OtfsStrategy::StartScale(const ScalePlan& plan) {
   DRRS_RETURN_NOT_OK(ValidatePlan(plan));
-  if (!done_) return Status::FailedPrecondition("scaling already in progress");
+  if (!done()) return Status::FailedPrecondition("scaling already in progress");
   plan_ = plan;
-  done_ = false;
+  dataflow::ScaleId scale = core_.BeginScale();
   sim::SimTime now = graph_->sim()->now();
-  hub_->scaling().RecordScaleStart(now);
   hub_->scaling().RecordSignalInjection(0, now);
   EnsureInstances(plan_);
 
   // Upstream closure: every operator from which the scaling operator is
   // reachable participates in signal propagation.
-  upstream_.clear();
-  bool changed = true;
-  while (changed) {
-    changed = false;
-    for (const auto& e : graph_->job().edges()) {
-      if ((e.to == plan_.op || upstream_.count(e.to) > 0) &&
-          upstream_.insert(e.from).second) {
-        changed = true;
-      }
-    }
-  }
+  upstream_ = core_.injector().UpstreamClosure(plan_.op);
 
-  // Build per-source outgoing paths and destination bookkeeping.
+  // Build per-source outgoing paths and destination bookkeeping. Each rail
+  // seeds the destination's side watermark when opened (see ScalingRails).
   out_.clear();
   dst_.clear();
   align_.clear();
-  rails_out_.clear();
   open_path_count_ = 0;
   std::map<std::pair<uint32_t, uint32_t>, std::vector<dataflow::KeyGroupId>>
       by_path;
@@ -75,31 +63,29 @@ Status OtfsStrategy::StartScale(const ScalePlan& plan) {
   for (auto& [path, kgs] : by_path) {
     Task* src = graph_->instance(plan_.op, path.first);
     Task* dst = graph_->instance(plan_.op, path.second);
-    net::Channel* rail = graph_->GetOrCreateScalingChannel(src, dst);
+    net::Channel* rail = core_.rails().Open(src, dst);
     out_[src->id()].push_back(OutPath{dst, kgs, rail});
-    rails_out_[src->id()].insert(rail);
     DstCtx& d = dst_[dst->id()];
     d.pending.insert(kgs.begin(), kgs.end());
     d.open_paths.insert(src->id());
     ++open_path_count_;
-
-    // Seed the destination's side watermark (see DrrsStrategy for why).
-    StreamElement wm = dataflow::MakeWatermark(
-        std::max<sim::SimTime>(0, src->current_watermark()));
-    wm.from_instance = src->id();
-    rail->Push(std::move(wm));
   }
 
   // Hook every participating task: upstream forwarders + the scaling op.
-  hooked_.clear();
-  for (dataflow::OperatorId op : upstream_) {
-    for (Task* t : graph_->instances_of(op)) hooked_.push_back(t);
-  }
-  for (Task* t : graph_->instances_of(plan_.op)) hooked_.push_back(t);
-  for (Task* t : hooked_) t->set_hook(hook_.get());
   align_needed_ = 0;
   aligned_count_ = 0;
-  for (Task* t : hooked_) {
+  for (dataflow::OperatorId op : upstream_) {
+    for (Task* t : graph_->instances_of(op)) core_.AttachHook(t, hook_.get());
+  }
+  for (Task* t : graph_->instances_of(plan_.op)) {
+    core_.AttachHook(t, hook_.get());
+  }
+  for (dataflow::OperatorId op : upstream_) {
+    for (Task* t : graph_->instances_of(op)) {
+      if (!t->input_channels().empty()) ++align_needed_;
+    }
+  }
+  for (Task* t : graph_->instances_of(plan_.op)) {
     if (!t->input_channels().empty()) ++align_needed_;
   }
 
@@ -112,34 +98,18 @@ Status OtfsStrategy::StartScale(const ScalePlan& plan) {
   // Source injection: each source emits the barrier into its output stream.
   // A source that is itself a direct predecessor confirms routing first,
   // like any other predecessor would at alignment.
-  StreamElement barrier;
-  barrier.kind = ElementKind::kConfirmBarrier;
-  barrier.scale_id = ++next_scale_id_;
-  barrier.subscale_id = 0;
+  StreamElement barrier =
+      BarrierInjector::Make(ElementKind::kConfirmBarrier, scale, 0, 0);
   for (runtime::SourceTask* s : graph_->sources()) {
     if (upstream_.count(s->op()) == 0) continue;
     runtime::OutputEdge* edge = graph_->FindEdgeTo(s, plan_.op);
     if (edge != nullptr &&
         edge->partitioning == dataflow::Partitioning::kHash) {
-      for (const Migration& m : plan_.migrations) {
-        edge->routing.Update(m.key_group, m.to);
-      }
+      BarrierInjector::UpdateRouting(edge, plan_.migrations);
     }
-    SendTowardScalingOp(s, barrier);
+    core_.injector().Broadcast(s, plan_.op, upstream_, barrier);
   }
   return Status::OK();
-}
-
-void OtfsStrategy::SendTowardScalingOp(Task* task,
-                                       const StreamElement& barrier) {
-  for (runtime::OutputEdge& edge : task->output_edges()) {
-    if (edge.to_op != plan_.op && upstream_.count(edge.to_op) == 0) continue;
-    for (net::Channel* ch : edge.channels) {
-      StreamElement b = barrier;
-      b.from_instance = task->id();
-      ch->Push(std::move(b));
-    }
-  }
 }
 
 bool OtfsStrategy::HandleControl(Task* task, net::Channel* channel,
@@ -170,7 +140,7 @@ bool OtfsStrategy::HandleControl(Task* task, net::Channel* channel,
       return true;
     }
     case ElementKind::kStateChunk: {
-      transfer_.Install(task, e);
+      core_.session().Install(task, e);
       task->ConsumeProcessingTime(static_cast<sim::SimTime>(
           e.chunk_bytes / graph_->config().state_serialize_bytes_per_us));
       DstCtx& d = dst_[task->id()];
@@ -202,15 +172,12 @@ void OtfsStrategy::OnBarrierAligned(Task* task) {
   // Predecessors of the scaling operator confirm routing when forwarding.
   runtime::OutputEdge* edge = graph_->FindEdgeTo(task, plan_.op);
   if (edge != nullptr && edge->partitioning == dataflow::Partitioning::kHash) {
-    for (const Migration& m : plan_.migrations) {
-      edge->routing.Update(m.key_group, m.to);
-    }
+    BarrierInjector::UpdateRouting(edge, plan_.migrations);
   }
   if (task->op() != plan_.op) {
-    StreamElement barrier;
-    barrier.kind = ElementKind::kConfirmBarrier;
-    barrier.subscale_id = 0;
-    SendTowardScalingOp(task, barrier);
+    StreamElement barrier = BarrierInjector::Make(ElementKind::kConfirmBarrier,
+                                                  core_.scale_id(), 0, 0);
+    core_.injector().Broadcast(task, plan_.op, upstream_, barrier);
     return;
   }
   // Scaling-operator instance: after alignment its migrating state is no
@@ -229,7 +196,7 @@ void OtfsStrategy::PumpMigration(Task* src) {
     p.to_send.erase(p.to_send.begin());
     sim::SimTime now = graph_->sim()->now();
     hub_->scaling().RecordFirstMigration(0, now);
-    uint64_t bytes = transfer_.SendKeyGroup(src, p.rail, kg, 0, 0);
+    uint64_t bytes = core_.session().SendKeyGroup(src, p.rail, kg, 0);
     src->ConsumeProcessingTime(static_cast<sim::SimTime>(
         bytes / graph_->config().state_serialize_bytes_per_us));
     hub_->scaling().RecordStateMigrated(0, kg, now);
@@ -244,13 +211,12 @@ void OtfsStrategy::PumpMigration(Task* src) {
                                  [this, src]() { PumpMigration(src); });
     return;
   }
-  // All paths drained: close each with a completion marker (once).
+  // All paths drained: close each with a completion marker (once). The
+  // receiver clears its own side watermark when the marker arrives, so the
+  // rails are only forgotten (Reset), not released, at MaybeFinish.
   for (OutPath& p : paths) {
     if (p.rail == nullptr) continue;
-    StreamElement done;
-    done.kind = ElementKind::kScaleComplete;
-    done.from_instance = src->id();
-    p.rail->Push(std::move(done));
+    ScalingRails::PushComplete(p.rail, src->id(), core_.scale_id(), 0);
     p.rail = nullptr;
   }
 }
@@ -268,30 +234,14 @@ bool OtfsStrategy::HandleIsProcessable(Task* task, net::Channel* channel,
   return true;
 }
 
-void OtfsStrategy::HandleWatermarkAdvance(Task* task, sim::SimTime wm) {
-  auto it = rails_out_.find(task->id());
-  if (it == rails_out_.end()) return;
-  for (net::Channel* rail : it->second) {
-    StreamElement w = dataflow::MakeWatermark(wm);
-    w.from_instance = task->id();
-    rail->Push(std::move(w));
-  }
-}
-
 void OtfsStrategy::MaybeFinish() {
-  if (done_) return;
+  if (done()) return;
   if (open_path_count_ > 0 || aligned_count_ < align_needed_) return;
-  hub_->scaling().RecordScaleEnd(graph_->sim()->now());
-  for (Task* t : hooked_) {
-    t->set_hook(nullptr);
-    t->WakeUp();
-  }
-  hooked_.clear();
   align_.clear();
   dst_.clear();
   out_.clear();
-  rails_out_.clear();
-  done_ = true;
+  core_.rails().Reset();  // receivers already cleared on kScaleComplete
+  core_.EndScale();
 }
 
 }  // namespace drrs::scaling

@@ -30,6 +30,11 @@ class OtfsStrategy : public ScalingStrategy {
   }
   Status StartScale(const ScalePlan& plan) override;
 
+  /// Hooks the whole upstream closure (sources included), so two OTFS
+  /// operations — or OTFS next to any other mechanism — would overwrite
+  /// each other's hooks.
+  bool exclusive() const override { return true; }
+
  private:
   friend class OtfsTaskHook;
 
@@ -52,12 +57,9 @@ class OtfsStrategy : public ScalingStrategy {
                      const dataflow::StreamElement& e);
   bool HandleIsProcessable(runtime::Task* task, net::Channel* channel,
                            const dataflow::StreamElement& e);
-  void HandleWatermarkAdvance(runtime::Task* task, sim::SimTime wm);
 
   void OnBarrierAligned(runtime::Task* task);
   void PumpMigration(runtime::Task* src);
-  void SendTowardScalingOp(runtime::Task* task,
-                           const dataflow::StreamElement& barrier);
   void MaybeFinish();
 
   MigrationMode mode_;
@@ -74,8 +76,6 @@ class OtfsStrategy : public ScalingStrategy {
     net::Channel* rail = nullptr;
   };
   std::map<dataflow::InstanceId, std::vector<OutPath>> out_;
-  std::map<dataflow::InstanceId, std::set<net::Channel*>> rails_out_;
-  std::vector<runtime::Task*> hooked_;
   size_t open_path_count_ = 0;
   size_t align_needed_ = 0;
   size_t aligned_count_ = 0;

@@ -1,13 +1,82 @@
 #include "scaling/scale_service.h"
 
 #include <utility>
+#include <vector>
 
+#include "common/logging.h"
+#include "scaling/meces.h"
+#include "scaling/otfs.h"
 #include "scaling/planner.h"
+#include "scaling/unbound.h"
 
 namespace drrs::scaling {
 
-Status ScaleService::RequestRescale(dataflow::OperatorId op,
-                                    uint32_t target_parallelism) {
+const char* MechanismName(Mechanism mechanism) {
+  switch (mechanism) {
+    case Mechanism::kDrrs:
+      return "drrs";
+    case Mechanism::kDrrsDR:
+      return "drrs-dr";
+    case Mechanism::kDrrsSchedule:
+      return "drrs-schedule";
+    case Mechanism::kDrrsSubscale:
+      return "drrs-subscale";
+    case Mechanism::kMegaphone:
+      return "megaphone";
+    case Mechanism::kMeces:
+      return "meces";
+    case Mechanism::kOtfsFluid:
+      return "otfs-fluid";
+    case Mechanism::kOtfsAllAtOnce:
+      return "otfs-all-at-once";
+    case Mechanism::kUnbound:
+      return "unbound";
+    case Mechanism::kStopRestart:
+      return "stop-restart";
+  }
+  return "?";
+}
+
+std::unique_ptr<ScalingStrategy> MakeMechanismStrategy(
+    Mechanism mechanism, runtime::ExecutionGraph* graph,
+    const ScaleService::Options& options) {
+  switch (mechanism) {
+    case Mechanism::kDrrs:
+      return std::make_unique<DrrsStrategy>(graph, options.drrs,
+                                            MechanismName(mechanism));
+    case Mechanism::kDrrsDR:
+      return std::make_unique<DrrsStrategy>(graph, DrOnlyOptions(),
+                                            MechanismName(mechanism));
+    case Mechanism::kDrrsSchedule:
+      return std::make_unique<DrrsStrategy>(graph, ScheduleOnlyOptions(),
+                                            MechanismName(mechanism));
+    case Mechanism::kDrrsSubscale:
+      return std::make_unique<DrrsStrategy>(graph, SubscaleOnlyOptions(),
+                                            MechanismName(mechanism));
+    case Mechanism::kMegaphone:
+      return std::make_unique<DrrsStrategy>(graph, MegaphoneOptions(),
+                                            MechanismName(mechanism));
+    case Mechanism::kMeces:
+      return std::make_unique<MecesStrategy>(
+          graph, options.meces_sub_key_group_fanout,
+          options.meces_unit_cooldown);
+    case Mechanism::kOtfsFluid:
+      return std::make_unique<OtfsStrategy>(
+          graph, OtfsStrategy::MigrationMode::kFluid);
+    case Mechanism::kOtfsAllAtOnce:
+      return std::make_unique<OtfsStrategy>(
+          graph, OtfsStrategy::MigrationMode::kAllAtOnce);
+    case Mechanism::kUnbound:
+      return std::make_unique<UnboundStrategy>(graph);
+    case Mechanism::kStopRestart:
+      return std::make_unique<StopRestartStrategy>(graph,
+                                                   options.stop_restart);
+  }
+  return nullptr;
+}
+
+Status ScaleService::ValidateRequest(dataflow::OperatorId op,
+                                     uint32_t target) const {
   if (op >= graph_->job().operators().size()) {
     return Status::InvalidArgument("unknown operator");
   }
@@ -16,38 +85,115 @@ Status ScaleService::RequestRescale(dataflow::OperatorId op,
     return Status::InvalidArgument(
         "only stateful internal operators can be rescaled");
   }
-  if (target_parallelism == 0) {
+  if (target == 0) {
     return Status::InvalidArgument("zero target parallelism");
   }
+  return Status::OK();
+}
 
+ScalingStrategy* ScaleService::GetOrCreate(dataflow::OperatorId op) {
   auto it = strategies_.find(op);
   if (it == strategies_.end()) {
     it = strategies_
-             .emplace(op, std::make_unique<DrrsStrategy>(
-                              graph_, options_.drrs,
-                              "drrs-op" + std::to_string(op)))
+             .emplace(op, MakeMechanismStrategy(options_.mechanism, graph_,
+                                                options_))
              .first;
+    it->second->set_idle_listener([this]() { OnStrategyIdle(); });
   }
-  DrrsStrategy* strategy = it->second.get();
+  return it->second.get();
+}
 
-  // A superseding request reuses the pending-plan path inside the strategy;
-  // its migrations are recomputed from live ownership when it starts, so the
-  // plan we hand over only needs the target assignment.
-  ScalePlan plan = options_.use_balanced_plan
-                       ? PlanBalancedRescale(graph_, op, target_parallelism,
-                                             options_.stickiness)
-                       : PlanRescale(graph_, op, target_parallelism);
+Status ScaleService::RequestRescale(dataflow::OperatorId op,
+                                    uint32_t target_parallelism) {
+  DRRS_RETURN_NOT_OK(ValidateRequest(op, target_parallelism));
+  return Admit(op, target_parallelism, GetOrCreate(op));
+}
+
+ScalingStrategy* ScaleService::Prepare(dataflow::OperatorId op) {
+  if (!ValidateRequest(op, /*target=*/1).ok()) return nullptr;
+  return GetOrCreate(op);
+}
+
+Status ScaleService::Admit(dataflow::OperatorId op, uint32_t target,
+                           ScalingStrategy* strategy) {
+  bool busy_other = false;
+  bool exclusive_other = false;
+  for (const auto& [other_op, other] : strategies_) {
+    if (other_op == op || other->done()) continue;
+    busy_other = true;
+    if (other->exclusive()) exclusive_other = true;
+  }
+  // An exclusive mechanism touches tasks beyond its own operator (upstream
+  // hooks, global freeze), so it never overlaps any other operation: defer
+  // until the job is quiet again.
+  if (exclusive_other || (strategy->exclusive() && busy_other)) {
+    pending_[op] = target;
+    return Status::OK();
+  }
+  if (!strategy->done()) {
+    if (!strategy->supports_supersession()) {
+      pending_[op] = target;
+      return Status::OK();
+    }
+    return strategy->StartScale(SupersedingPlan(op, target));
+  }
+  ScalePlan plan =
+      options_.use_balanced_plan
+          ? PlanBalancedRescale(graph_, op, target, options_.stickiness)
+          : PlanRescale(graph_, op, target);
   return strategy->StartScale(plan);
 }
 
+ScalePlan ScaleService::SupersedingPlan(dataflow::OperatorId op,
+                                        uint32_t target) const {
+  // Live ownership is indeterminate while state is in transit, so a
+  // superseding plan carries only the target assignment (no migrations);
+  // the strategy recomputes the migrations from live ownership when the
+  // pending plan takes over (see DrrsStrategy::FinishScale).
+  ScalePlan plan;
+  plan.op = op;
+  plan.old_parallelism = graph_->parallelism_of(op);
+  plan.new_parallelism = target;
+  std::vector<dataflow::InstanceId> uniform =
+      graph_->key_space().UniformAssignment(target);
+  plan.new_assignment.assign(uniform.begin(), uniform.end());
+  return plan;
+}
+
+void ScaleService::OnStrategyIdle() {
+  if (pending_.empty() || drain_scheduled_) return;
+  // Deferred one tick: the idle notification fires inside the finishing
+  // strategy's teardown, which must complete before a new operation starts.
+  drain_scheduled_ = true;
+  graph_->sim()->ScheduleAfter(0, [this]() {
+    drain_scheduled_ = false;
+    DrainPending();
+  });
+}
+
+void ScaleService::DrainPending() {
+  std::map<dataflow::OperatorId, uint32_t> batch;
+  batch.swap(pending_);
+  for (const auto& [op, target] : batch) {
+    // Re-runs admission: a request that still conflicts (e.g. the first
+    // drained entry started an exclusive operation) re-queues itself.
+    Status st = Admit(op, target, GetOrCreate(op));
+    if (!st.ok()) {
+      DRRS_LOG(Error) << "deferred rescale of operator " << op
+                      << " failed: " << st.ToString();
+    }
+  }
+}
+
 bool ScaleService::idle() const {
+  if (!pending_.empty() || drain_scheduled_) return false;
   for (const auto& [op, strategy] : strategies_) {
     if (!strategy->done()) return false;
   }
   return true;
 }
 
-DrrsStrategy* ScaleService::strategy_for(dataflow::OperatorId op) {
+ScalingStrategy* ScaleService::strategy_for(dataflow::OperatorId op) {
   auto it = strategies_.find(op);
   return it == strategies_.end() ? nullptr : it->second.get();
 }

@@ -5,26 +5,62 @@
 #include <memory>
 
 #include "scaling/drrs/drrs.h"
+#include "scaling/stop_restart.h"
 #include "scaling/strategy.h"
 
 namespace drrs::scaling {
 
+/// The scaling mechanisms the control plane can drive — the paper's systems
+/// under evaluation (Section V-A), minus the no-op reference.
+enum class Mechanism {
+  kDrrs = 0,       ///< full DRRS
+  kDrrsDR,         ///< Fig 14 ablation: Decoupling & Re-routing only
+  kDrrsSchedule,   ///< Fig 14 ablation: Record Scheduling only
+  kDrrsSubscale,   ///< Fig 14 ablation: Subscale Division only
+  kMegaphone,      ///< Megaphone port (Section V-A)
+  kMeces,          ///< Meces port (Section V-A)
+  kOtfsFluid,      ///< generalized OTFS with fluid migration
+  kOtfsAllAtOnce,  ///< generalized OTFS with all-at-once migration
+  kUnbound,        ///< correctness-free probe (Fig 2)
+  kStopRestart,    ///< Stop-Checkpoint-Restart
+};
+
+/// Stable mechanism identifier (matches the bench system names).
+const char* MechanismName(Mechanism mechanism);
+
 /// \brief The paper's control-plane composition as one user-facing object
 /// (Fig 8): the Scale Planner (component C) turns a request into a plan —
 /// C0's default user-request trigger with uniform repartitioning, or the
-/// load-aware variant — and the Scale Coordinator (A) drives a per-operator
-/// DRRS strategy whose task hooks act as the Scale Executors (B).
+/// load-aware variant — and the Scale Coordinator (A) drives per-operator
+/// strategies whose task hooks act as the Scale Executors (B). Every
+/// Mechanism runs behind this same entry point.
 ///
-/// One strategy instance exists per scaled operator, which gives the
-/// Section IV-B semantics for free: a second request for an operator that is
-/// already scaling supersedes the in-flight operation, while requests for
-/// distinct operators run concurrently.
+/// One strategy instance exists per scaled operator. That alone covers the
+/// *same-operator* half of the Section IV-B semantics: a second request for
+/// an operator that is already scaling supersedes the in-flight operation
+/// (immediately when the mechanism supports supersession, else queued until
+/// it finishes). Requests for distinct operators run concurrently — but not
+/// for free: adjacent-operator consistency additionally relies on strategies
+/// re-capturing the predecessor set at every signal injection (Section IV-B
+/// case 2, see DrrsStrategy::LaunchSubscale), and mechanisms that touch
+/// tasks beyond the scaled operator (ScalingStrategy::exclusive) are
+/// serialized through the service's pending queue rather than run
+/// concurrently at all.
 class ScaleService {
  public:
   struct Options {
+    Mechanism mechanism = Mechanism::kDrrs;
+    /// Engine options for Mechanism::kDrrs. The ablation and Megaphone
+    /// mechanisms always use their presets.
     DrrsOptions drrs;
+    /// Meces port knobs (Mechanism::kMeces).
+    uint32_t meces_sub_key_group_fanout = 4;
+    sim::SimTime meces_unit_cooldown = sim::Millis(10);
+    /// Stop-Checkpoint-Restart knobs (Mechanism::kStopRestart).
+    StopRestartStrategy::Options stop_restart;
     /// Use Planner::BalancedPlan over live key counts instead of uniform
-    /// repartitioning.
+    /// repartitioning. Superseding requests fall back to the uniform target
+    /// (balanced planning needs quiescent ownership).
     bool use_balanced_plan = false;
     double stickiness = 0.3;
   };
@@ -38,20 +74,49 @@ class ScaleService {
   ScaleService& operator=(const ScaleService&) = delete;
 
   /// User-request-based trigger (paper C0's default policy): rescale `op`
-  /// to `target_parallelism` on the fly.
+  /// to `target_parallelism` on the fly. Returns an error for invalid
+  /// requests; a valid request is either started immediately or — when it
+  /// conflicts with an in-flight operation it cannot supersede — queued and
+  /// started when the conflict clears (the latest queued target per
+  /// operator wins).
   Status RequestRescale(dataflow::OperatorId op, uint32_t target_parallelism);
 
-  /// True when no operator is currently scaling.
+  /// Create the (idle) strategy for `op` upfront without starting anything.
+  /// Returns null when `op` cannot be rescaled.
+  ScalingStrategy* Prepare(dataflow::OperatorId op);
+
+  /// True when no operator is scaling and no request is queued.
   bool idle() const;
 
   /// The per-operator strategy (null before the first request for `op`).
-  DrrsStrategy* strategy_for(dataflow::OperatorId op);
+  ScalingStrategy* strategy_for(dataflow::OperatorId op);
+
+  /// Requests accepted but not yet started (diagnostic).
+  size_t pending_requests() const { return pending_.size(); }
 
  private:
+  Status ValidateRequest(dataflow::OperatorId op, uint32_t target) const;
+  ScalingStrategy* GetOrCreate(dataflow::OperatorId op);
+  /// Start `target` on `strategy` or queue it, per the Section IV-B rules.
+  Status Admit(dataflow::OperatorId op, uint32_t target,
+               ScalingStrategy* strategy);
+  ScalePlan SupersedingPlan(dataflow::OperatorId op, uint32_t target) const;
+  void OnStrategyIdle();
+  void DrainPending();
+
   runtime::ExecutionGraph* graph_;
   Options options_;
-  std::map<dataflow::OperatorId, std::unique_ptr<DrrsStrategy>> strategies_;
+  std::map<dataflow::OperatorId, std::unique_ptr<ScalingStrategy>> strategies_;
+  /// op -> deferred target parallelism (latest request wins).
+  std::map<dataflow::OperatorId, uint32_t> pending_;
+  bool drain_scheduled_ = false;
 };
+
+/// Build one fresh strategy executing `mechanism` (the factory behind
+/// ScaleService; the experiment harness shares it).
+std::unique_ptr<ScalingStrategy> MakeMechanismStrategy(
+    Mechanism mechanism, runtime::ExecutionGraph* graph,
+    const ScaleService::Options& options);
 
 }  // namespace drrs::scaling
 

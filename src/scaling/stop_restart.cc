@@ -16,10 +16,9 @@ StopRestartStrategy::StopRestartStrategy(runtime::ExecutionGraph* graph,
 
 Status StopRestartStrategy::StartScale(const ScalePlan& plan) {
   DRRS_RETURN_NOT_OK(ValidatePlan(plan));
-  if (!done_) return Status::FailedPrecondition("scaling already in progress");
-  done_ = false;
+  if (!done()) return Status::FailedPrecondition("scaling already in progress");
+  core_.BeginScale();
   sim::SimTime now = graph_->sim()->now();
-  hub_->scaling().RecordScaleStart(now);
   hub_->scaling().RecordSignalInjection(0, now);
 
   // Global halt.
@@ -66,6 +65,7 @@ void StopRestartStrategy::Restore(const ScalePlan& plan) {
 
   // (a) Records already in the old owners' input caches are moved, in FIFO
   //     order, onto the owner's scaling rail as re-routed special events.
+  //     The rails carry no state here, so no side watermark is seeded.
   for (Task* inst : graph_->instances_of(plan.op)) {
     for (net::Channel* ch : inst->input_channels()) {
       if (ch->scaling_path()) continue;
@@ -87,7 +87,8 @@ void StopRestartStrategy::Restore(const ScalePlan& plan) {
           Task* to = graph_->instance(plan.op, owner);
           dataflow::StreamElement r = std::move(e);
           r.rerouted = true;
-          graph_->GetOrCreateScalingChannel(inst, to)
+          core_.rails()
+              .Open(inst, to, /*seed_watermark=*/false)
               ->mutable_input_queue()
               ->push_back(std::move(r));
           ++extracted;
@@ -119,16 +120,14 @@ void StopRestartStrategy::Restore(const ScalePlan& plan) {
       }
     }
     // Restart with the new routing everywhere.
-    for (const Migration& m : plan.migrations) {
-      edge->routing.Update(m.key_group, m.to);
-    }
+    BarrierInjector::UpdateRouting(edge, plan.migrations);
   }
 
   for (size_t i = 0; i < graph_->task_count(); ++i) {
     graph_->task(static_cast<dataflow::InstanceId>(i))->Unfreeze();
   }
-  hub_->scaling().RecordScaleEnd(now);
-  done_ = true;
+  core_.rails().Reset();  // never seeded, nothing to release
+  core_.EndScale();
 }
 
 }  // namespace drrs::scaling

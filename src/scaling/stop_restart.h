@@ -31,6 +31,9 @@ class StopRestartStrategy : public ScalingStrategy {
   std::string name() const override { return "stop-restart"; }
   Status StartScale(const ScalePlan& plan) override;
 
+  /// Freezes every task in the job, not just the scaled operator.
+  bool exclusive() const override { return true; }
+
   sim::SimTime last_downtime() const { return last_downtime_; }
 
  private:

@@ -1,89 +1,9 @@
 #include "scaling/strategy.h"
 
-#include <utility>
-
 #include "common/logging.h"
 #include "scaling/planner.h"
 
 namespace drrs::scaling {
-
-using dataflow::ElementKind;
-using dataflow::StreamElement;
-
-namespace {
-/// Wire envelope for a state chunk even when the key-group is empty.
-constexpr uint64_t kChunkEnvelopeBytes = 256;
-}  // namespace
-
-uint64_t StateTransfer::Enqueue(runtime::Task* from, net::Channel* rail,
-                                state::KeyGroupState state, bool whole,
-                                const StreamElement& proto, bool priority) {
-  uint64_t bytes = state.TotalBytes() + kChunkEnvelopeBytes;
-  uint64_t id = next_id_++;
-  in_transit_[id] = Transit{std::move(state), whole};
-  StreamElement chunk = proto;
-  chunk.kind = ElementKind::kStateChunk;
-  chunk.from_instance = from->id();
-  chunk.seq = id;
-  chunk.chunk_bytes = bytes;
-  if (priority) {
-    rail->PushPriority(std::move(chunk));
-  } else {
-    rail->Push(std::move(chunk));
-  }
-  return bytes;
-}
-
-uint64_t StateTransfer::SendKeyGroup(runtime::Task* from, net::Channel* rail,
-                                     dataflow::KeyGroupId kg,
-                                     dataflow::ScaleId scale,
-                                     dataflow::SubscaleId subscale,
-                                     bool priority) {
-  DRRS_CHECK(from->state() != nullptr);
-  DRRS_CHECK(from->state()->OwnsKeyGroup(kg))
-      << "instance " << from->id() << " does not own key-group " << kg;
-  StreamElement proto;
-  proto.scale_id = scale;
-  proto.subscale_id = subscale;
-  proto.key_group = kg;
-  return Enqueue(from, rail, from->state()->ExtractKeyGroup(kg), true, proto,
-                 priority);
-}
-
-uint64_t StateTransfer::SendSubKeyGroup(runtime::Task* from,
-                                        net::Channel* rail,
-                                        dataflow::KeyGroupId kg, uint32_t sub,
-                                        uint32_t fanout,
-                                        dataflow::ScaleId scale,
-                                        dataflow::SubscaleId subscale,
-                                        bool priority) {
-  DRRS_CHECK(from->state() != nullptr);
-  StreamElement proto;
-  proto.scale_id = scale;
-  proto.subscale_id = subscale;
-  proto.key_group = kg;
-  proto.sub_key_group = sub;
-  return Enqueue(from, rail, from->state()->ExtractSubKeyGroup(kg, sub, fanout),
-                 false, proto, priority);
-}
-
-void StateTransfer::Install(runtime::Task* to, const StreamElement& chunk) {
-  DRRS_CHECK(chunk.kind == ElementKind::kStateChunk);
-  auto it = in_transit_.find(chunk.seq);
-  DRRS_CHECK(it != in_transit_.end()) << "unknown state transfer " << chunk.seq;
-  Transit transit = std::move(it->second);
-  in_transit_.erase(it);
-  DRRS_CHECK(to->state() != nullptr);
-  transit.state.key_group = chunk.key_group;
-  if (transit.whole_group) {
-    to->state()->InstallKeyGroup(std::move(transit.state));
-  } else {
-    // Merge cells only; the caller manages (sub-)ownership.
-    for (auto& [key, cell] : transit.state.cells) {
-      *to->state()->GetOrCreate(chunk.key_group, key) = std::move(cell);
-    }
-  }
-}
 
 std::vector<uint32_t> CurrentAssignment(runtime::ExecutionGraph* graph,
                                         dataflow::OperatorId op) {

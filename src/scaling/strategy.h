@@ -1,55 +1,20 @@
 #ifndef DRRS_SCALING_STRATEGY_H_
 #define DRRS_SCALING_STRATEGY_H_
 
-#include <memory>
+#include <functional>
 #include <string>
-#include <unordered_map>
 #include <vector>
 
 #include "common/status.h"
 #include "runtime/execution_graph.h"
+#include "scaling/core/scale_context.h"
 #include "scaling/scale_plan.h"
 
 namespace drrs::scaling {
 
-/// \brief Moves keyed state between instances as sized chunk elements over
-/// scaling-path channels. The serialized cells travel out-of-band in an
-/// in-transit registry; the chunk element models the wire cost.
-class StateTransfer {
- public:
-  /// Extract the whole key-group from `from` (releasing its ownership) and
-  /// enqueue a chunk on `rail`. Returns the chunk's modeled byte size.
-  uint64_t SendKeyGroup(runtime::Task* from, net::Channel* rail,
-                        dataflow::KeyGroupId kg, dataflow::ScaleId scale,
-                        dataflow::SubscaleId subscale, bool priority = false);
-
-  /// Extract one Meces-style sub-key-group (ownership flags untouched).
-  uint64_t SendSubKeyGroup(runtime::Task* from, net::Channel* rail,
-                           dataflow::KeyGroupId kg, uint32_t sub,
-                           uint32_t fanout, dataflow::ScaleId scale,
-                           dataflow::SubscaleId subscale,
-                           bool priority = false);
-
-  /// Install a received chunk into `to`. Whole-key-group chunks acquire
-  /// ownership; sub-key-group chunks merge cells without flipping it.
-  void Install(runtime::Task* to, const dataflow::StreamElement& chunk);
-
-  size_t in_transit_count() const { return in_transit_.size(); }
-
- private:
-  uint64_t Enqueue(runtime::Task* from, net::Channel* rail,
-                   state::KeyGroupState state, bool whole,
-                   const dataflow::StreamElement& proto, bool priority);
-
-  uint64_t next_id_ = 1;
-  struct Transit {
-    state::KeyGroupState state;
-    bool whole_group = false;
-  };
-  std::unordered_map<uint64_t, Transit> in_transit_;
-};
-
 /// Live key-group -> subtask assignment of `op`, read from the backends.
+/// Requires quiescent ownership: every key-group must have an owner, which
+/// is not the case while a scaling operation has state in transit.
 std::vector<uint32_t> CurrentAssignment(runtime::ExecutionGraph* graph,
                                         dataflow::OperatorId op);
 
@@ -74,12 +39,16 @@ ScalePlan PlanBalancedRescale(runtime::ExecutionGraph* graph,
 ///
 /// A strategy is constructed idle; StartScale begins one scaling operation
 /// (adding instances as needed) and the strategy reports completion through
-/// done(). Strategies must leave the engine unhooked once done — DRRS's
-/// "no disruption during non-scaling periods" property is tested on this.
+/// done(). Each strategy is a protocol over the shared scaling/core
+/// primitives held by its ScaleContext: rails (old->new paths), barrier
+/// injection, leak-checked state transfer and hook lifecycle. Strategies
+/// must leave the engine unhooked once done — DRRS's "no disruption during
+/// non-scaling periods" property is tested on this, and ScaleContext's
+/// teardown enforces the hook and transfer halves of it.
 class ScalingStrategy {
  public:
   explicit ScalingStrategy(runtime::ExecutionGraph* graph)
-      : graph_(graph), hub_(graph->hub()) {}
+      : graph_(graph), hub_(graph->hub()), core_(graph, graph->hub()) {}
   virtual ~ScalingStrategy() = default;
 
   ScalingStrategy(const ScalingStrategy&) = delete;
@@ -93,7 +62,21 @@ class ScalingStrategy {
   virtual Status StartScale(const ScalePlan& plan) = 0;
 
   /// True when no scaling operation is in flight.
-  bool done() const { return done_; }
+  bool done() const { return !core_.active(); }
+
+  /// Whether StartScale on a busy strategy supersedes the in-flight
+  /// operation (Section IV-B) instead of failing.
+  virtual bool supports_supersession() const { return false; }
+
+  /// Whether the protocol touches tasks beyond the scaled operator's
+  /// instances (hooking the upstream closure, freezing the job). Exclusive
+  /// strategies must not run concurrently with any other scaling operation.
+  virtual bool exclusive() const { return false; }
+
+  /// Invoked whenever the strategy transitions to idle (end of EndScale).
+  void set_idle_listener(std::function<void()> cb) {
+    core_.set_on_idle(std::move(cb));
+  }
 
   runtime::ExecutionGraph* graph() { return graph_; }
 
@@ -109,9 +92,7 @@ class ScalingStrategy {
 
   runtime::ExecutionGraph* graph_;
   metrics::MetricsHub* hub_;
-  StateTransfer transfer_;
-  bool done_ = true;
-  dataflow::ScaleId next_scale_id_ = 1;
+  ScaleContext core_;
 };
 
 }  // namespace drrs::scaling

@@ -31,32 +31,25 @@ UnboundStrategy::~UnboundStrategy() = default;
 
 Status UnboundStrategy::StartScale(const ScalePlan& plan) {
   DRRS_RETURN_NOT_OK(ValidatePlan(plan));
-  if (!done_) return Status::FailedPrecondition("scaling already in progress");
+  if (!done()) return Status::FailedPrecondition("scaling already in progress");
   plan_ = plan;
-  done_ = false;
+  core_.BeginScale();
   sim::SimTime now = graph_->sim()->now();
-  hub_->scaling().RecordScaleStart(now);
   hub_->scaling().RecordSignalInjection(0, now);
   EnsureInstances(plan_);
 
   out_.clear();
   pending_.clear();
-  hooked_.clear();
   for (Task* t : graph_->instances_of(plan_.op)) {
-    t->set_hook(hook_.get());
-    hooked_.push_back(t);
+    core_.AttachHook(t, hook_.get());
   }
 
   // Instant routing update at every predecessor — no signals, no alignment.
-  for (Task* pred : graph_->PredecessorTasksOf(plan_.op)) {
-    runtime::OutputEdge* edge = graph_->FindEdgeTo(pred, plan_.op);
-    DRRS_CHECK(edge != nullptr);
-    for (const Migration& m : plan_.migrations) {
-      edge->routing.Update(m.key_group, m.to);
-    }
-  }
+  core_.injector().UpdateRoutingAtPredecessors(plan_.op, plan_.migrations);
 
-  // Background best-effort state copy.
+  // Background best-effort state copy. The rails carry state the receiver
+  // uses opportunistically; no side watermark is seeded (the probe ignores
+  // time-semantic correctness by design).
   std::map<std::pair<uint32_t, uint32_t>, std::vector<dataflow::KeyGroupId>>
       by_path;
   for (const Migration& m : plan_.migrations) {
@@ -67,7 +60,7 @@ Status UnboundStrategy::StartScale(const ScalePlan& plan) {
     Task* src = graph_->instance(plan_.op, path.first);
     Task* dst = graph_->instance(plan_.op, path.second);
     out_[src->id()].push_back(
-        OutPath{dst, kgs, graph_->GetOrCreateScalingChannel(src, dst)});
+        OutPath{dst, kgs, core_.rails().Open(src, dst, /*seed=*/false)});
   }
   for (auto& [src_id, paths] : out_) {
     PumpCopy(graph_->task(src_id));
@@ -85,7 +78,7 @@ void UnboundStrategy::PumpCopy(Task* src) {
     p.to_send.erase(p.to_send.begin());
     sim::SimTime now = graph_->sim()->now();
     hub_->scaling().RecordFirstMigration(0, now);
-    uint64_t bytes = transfer_.SendKeyGroup(src, p.rail, kg, 0, 0);
+    uint64_t bytes = core_.session().SendKeyGroup(src, p.rail, kg, 0);
     src->ConsumeProcessingTime(static_cast<sim::SimTime>(
         bytes / graph_->config().state_serialize_bytes_per_us));
     hub_->scaling().RecordStateMigrated(0, kg, now);
@@ -100,7 +93,7 @@ void UnboundStrategy::PumpCopy(Task* src) {
 
 bool UnboundStrategy::HandleControl(Task* task, const StreamElement& e) {
   if (e.kind != ElementKind::kStateChunk) return false;
-  transfer_.Install(task, e);
+  core_.session().Install(task, e);
   pending_.erase(e.key_group);
   task->WakeUp();
   MaybeFinish();
@@ -108,15 +101,10 @@ bool UnboundStrategy::HandleControl(Task* task, const StreamElement& e) {
 }
 
 void UnboundStrategy::MaybeFinish() {
-  if (done_ || !pending_.empty()) return;
-  hub_->scaling().RecordScaleEnd(graph_->sim()->now());
-  for (Task* t : hooked_) {
-    t->set_hook(nullptr);
-    t->WakeUp();
-  }
-  hooked_.clear();
+  if (done() || !pending_.empty()) return;
   out_.clear();
-  done_ = true;
+  core_.rails().Reset();  // never seeded, nothing to release
+  core_.EndScale();
 }
 
 }  // namespace drrs::scaling

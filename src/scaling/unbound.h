@@ -45,7 +45,6 @@ class UnboundStrategy : public ScalingStrategy {
   };
   std::map<dataflow::InstanceId, std::vector<OutPath>> out_;
   std::set<dataflow::KeyGroupId> pending_;
-  std::vector<runtime::Task*> hooked_;
 };
 
 }  // namespace drrs::scaling

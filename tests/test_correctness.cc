@@ -82,7 +82,9 @@ RunOutput RunOnce(const CustomParams& params, SystemKind kind,
   }
   graph.Start();
   sim.RunUntilIdle();
-  if (strategy != nullptr) EXPECT_TRUE(strategy->done());
+  if (strategy != nullptr) {
+    EXPECT_TRUE(strategy->done());
+  }
 
   RunOutput out;
   out.sink_sorted = collector.Sorted();

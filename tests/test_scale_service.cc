@@ -1,5 +1,9 @@
 #include <gtest/gtest.h>
 
+#include <optional>
+#include <string>
+#include <vector>
+
 #include "scaling/scale_service.h"
 #include "sim/simulator.h"
 #include "workloads/workloads.h"
@@ -107,6 +111,131 @@ TEST(ScaleService, BalancedPlannerOption) {
                     ->OwnsKeyGroup(kg);
     }
     EXPECT_EQ(owners, 1) << "kg " << kg;
+  }
+}
+
+// ---- mechanism-generic control-plane semantics ----------------------------
+//
+// The same ScaleService entry point must drive every mechanism, covering the
+// supersession/exclusivity matrix: DRRS (supersedes, concurrent), Meces
+// (no supersession, concurrent), OTFS (exclusive: hooks the upstream
+// closure), Stop-Restart (exclusive: freezes the job).
+
+class ScaleServiceMechanisms : public ::testing::TestWithParam<Mechanism> {};
+
+INSTANTIATE_TEST_SUITE_P(AllMechanisms, ScaleServiceMechanisms,
+                         ::testing::Values(Mechanism::kDrrs, Mechanism::kMeces,
+                                           Mechanism::kOtfsFluid,
+                                           Mechanism::kStopRestart),
+                         [](const ::testing::TestParamInfo<Mechanism>& info) {
+                           std::string n = MechanismName(info.param);
+                           for (char& c : n) {
+                             if (c == '-') c = '_';
+                           }
+                           return n;
+                         });
+
+TEST_P(ScaleServiceMechanisms, RescalesTwoOperators) {
+  ServiceRig rig;
+  ScaleService::Options options;
+  options.mechanism = GetParam();
+  ScaleService service(rig.graph.get(), options);
+  dataflow::OperatorId session = rig.graph->OperatorByName("sessionize");
+  dataflow::OperatorId loyalty = rig.workload.scaled_op;
+  rig.sim.ScheduleAt(sim::Seconds(10), [&] {
+    ASSERT_TRUE(service.RequestRescale(loyalty, 6).ok());
+    // Non-exclusive mechanisms run this concurrently; exclusive ones queue
+    // it until the first operation finishes. Either way it must be accepted
+    // and eventually applied.
+    ASSERT_TRUE(service.RequestRescale(session, 5).ok());
+    if (service.strategy_for(loyalty)->exclusive()) {
+      EXPECT_EQ(service.pending_requests(), 1u);
+    } else {
+      EXPECT_EQ(service.pending_requests(), 0u);
+    }
+  });
+  rig.graph->Start();
+  rig.sim.RunUntilIdle();
+  EXPECT_TRUE(service.idle());
+  EXPECT_EQ(rig.graph->parallelism_of(loyalty), 6u);
+  EXPECT_EQ(rig.graph->parallelism_of(session), 5u);
+  auto loyal_assign = rig.graph->key_space().UniformAssignment(6);
+  auto sess_assign = rig.graph->key_space().UniformAssignment(5);
+  for (uint32_t kg = 0; kg < 32; ++kg) {
+    EXPECT_TRUE(rig.graph->instance(loyalty, loyal_assign[kg])
+                    ->state()
+                    ->OwnsKeyGroup(kg));
+    EXPECT_TRUE(rig.graph->instance(session, sess_assign[kg])
+                    ->state()
+                    ->OwnsKeyGroup(kg));
+  }
+  EXPECT_TRUE(rig.hub.invariants().Clean());
+}
+
+TEST_P(ScaleServiceMechanisms, SupersedesOrQueuesInFlightRescale) {
+  ServiceRig rig;
+  ScaleService::Options options;
+  options.mechanism = GetParam();
+  ScaleService service(rig.graph.get(), options);
+  dataflow::OperatorId loyalty = rig.workload.scaled_op;
+  rig.sim.ScheduleAt(sim::Seconds(10), [&] {
+    ASSERT_TRUE(service.RequestRescale(loyalty, 6).ok());
+  });
+  rig.sim.ScheduleAt(sim::Seconds(10) + sim::Millis(2), [&] {
+    ScalingStrategy* strategy = service.strategy_for(loyalty);
+    ASSERT_NE(strategy, nullptr);
+    bool busy = !strategy->done();
+    ASSERT_TRUE(service.RequestRescale(loyalty, 8).ok());
+    if (busy && !strategy->supports_supersession()) {
+      EXPECT_EQ(service.pending_requests(), 1u);
+    } else {
+      EXPECT_EQ(service.pending_requests(), 0u);
+    }
+  });
+  rig.graph->Start();
+  rig.sim.RunUntilIdle();
+  EXPECT_TRUE(service.idle());
+  EXPECT_EQ(rig.graph->parallelism_of(loyalty), 8u);
+  auto assign = rig.graph->key_space().UniformAssignment(8);
+  for (uint32_t kg = 0; kg < 32; ++kg) {
+    EXPECT_TRUE(
+        rig.graph->instance(loyalty, assign[kg])->state()->OwnsKeyGroup(kg));
+  }
+  EXPECT_TRUE(rig.hub.invariants().Clean());
+}
+
+TEST_P(ScaleServiceMechanisms, IdleServiceIsNeutral) {
+  // A prepared-but-unused control plane must not perturb the vanilla trace:
+  // "no disruption during non-scaling periods" holds for every mechanism.
+  auto run = [](bool with_service, Mechanism mechanism) {
+    ServiceRig rig;
+    std::optional<ScaleService> service;
+    if (with_service) {
+      ScaleService::Options options;
+      options.mechanism = mechanism;
+      service.emplace(rig.graph.get(), options);
+      EXPECT_NE(service->Prepare(rig.workload.scaled_op), nullptr);
+      EXPECT_TRUE(service->idle());
+    }
+    rig.graph->Start();
+    rig.sim.RunUntilIdle();
+    struct Trace {
+      std::vector<metrics::Sample> latency;
+      uint64_t events;
+      uint64_t sunk;
+    };
+    return Trace{rig.hub.latency_ms().samples(), rig.sim.executed_events(),
+                 rig.hub.sink_rate().total()};
+  };
+  auto vanilla = run(false, GetParam());
+  auto prepared = run(true, GetParam());
+  EXPECT_EQ(vanilla.events, prepared.events);
+  EXPECT_EQ(vanilla.sunk, prepared.sunk);
+  ASSERT_EQ(vanilla.latency.size(), prepared.latency.size());
+  for (size_t i = 0; i < vanilla.latency.size(); ++i) {
+    ASSERT_EQ(vanilla.latency[i].time, prepared.latency[i].time) << "i=" << i;
+    ASSERT_EQ(vanilla.latency[i].value, prepared.latency[i].value)
+        << "i=" << i;
   }
 }
 

@@ -141,6 +141,58 @@ TEST(StateTransferTest, SubKeyGroupTransferKeepsOwnershipManual) {
   EXPECT_GT(b->state()->KeyCount(kg), 0u);
 }
 
+TEST(StateTransferTest, AbortScaleDropsOnlyThatScalesChunks) {
+  Rig rig;
+  runtime::Task* a = rig.graph->instance(rig.workload.scaled_op, 0);
+  runtime::Task* b = rig.graph->instance(rig.workload.scaled_op, 1);
+  auto it = a->state()->owned_key_groups().begin();
+  dataflow::KeyGroupId kg1 = *it++;
+  dataflow::KeyGroupId kg2 = *it;
+
+  StateTransfer transfer;
+  b->Freeze();
+  net::Channel* rail = rig.graph->GetOrCreateScalingChannel(a, b);
+  transfer.SendKeyGroup(a, rail, kg1, /*scale=*/1, 0);
+  transfer.SendKeyGroup(a, rail, kg2, /*scale=*/2, 0);
+  EXPECT_EQ(transfer.in_transit_count(), 2u);
+  EXPECT_EQ(transfer.in_transit_count(1), 1u);
+
+  transfer.AbortScale(1);
+  EXPECT_EQ(transfer.in_transit_count(), 1u);  // scale 2 untouched
+  EXPECT_EQ(transfer.in_transit_count(1), 0u);
+
+  // Both chunk elements are still on the wire; the aborted one must be
+  // consumed without installing anything.
+  rig.sim.RunUntilIdle();
+  dataflow::StreamElement first = rail->PopInput();   // kg1, aborted
+  dataflow::StreamElement second = rail->PopInput();  // kg2, live
+  EXPECT_FALSE(transfer.Install(b, first));
+  EXPECT_FALSE(b->state()->OwnsKeyGroup(kg1));
+  EXPECT_TRUE(transfer.Install(b, second));
+  EXPECT_TRUE(b->state()->OwnsKeyGroup(kg2));
+  EXPECT_EQ(transfer.in_transit_count(), 0u);
+}
+
+TEST(StateTransferTest, SessionAbortClearsInFlightAccounting) {
+  Rig rig;
+  runtime::Task* a = rig.graph->instance(rig.workload.scaled_op, 0);
+  runtime::Task* b = rig.graph->instance(rig.workload.scaled_op, 1);
+  dataflow::KeyGroupId kg = *a->state()->owned_key_groups().begin();
+
+  StateTransfer transfer;
+  TransferSession session(&transfer, /*scale=*/7);
+  b->Freeze();
+  net::Channel* rail = rig.graph->GetOrCreateScalingChannel(a, b);
+  session.SendKeyGroup(a, rail, kg, /*subscale=*/0);
+  EXPECT_EQ(session.in_flight(), 1u);
+  // The leak check in ScaleContext::EndScale asserts in_flight() == 0; an
+  // aborted session must satisfy it even with its chunk still on the wire.
+  session.Abort();
+  EXPECT_EQ(session.in_flight(), 0u);
+  rig.sim.RunUntilIdle();
+  EXPECT_FALSE(session.Install(b, rail->PopInput()));
+}
+
 TEST(StateTransferTest, EmptyKeyGroupStillShipsEnvelope) {
   Rig rig;
   runtime::Task* a = rig.graph->instance(rig.workload.scaled_op, 0);

@@ -75,7 +75,9 @@ WindowRun RunWindows(SystemKind kind, int query, uint64_t seed) {
   }
   graph.Start();
   sim.RunUntilIdle();
-  if (strategy != nullptr) EXPECT_TRUE(strategy->done());
+  if (strategy != nullptr) {
+    EXPECT_TRUE(strategy->done());
+  }
 
   WindowRun out;
   out.panes = collector.panes_;
