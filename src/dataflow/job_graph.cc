@@ -1,7 +1,5 @@
 #include "dataflow/job_graph.h"
 
-#include <unordered_set>
-
 namespace drrs::dataflow {
 
 OperatorId JobGraph::AddOperator(OperatorSpec spec) {

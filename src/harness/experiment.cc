@@ -77,6 +77,13 @@ std::unique_ptr<scaling::ScalingStrategy> MakeStrategy(
 ExperimentResult RunExperiment(const workloads::WorkloadSpec& workload,
                                const ExperimentConfig& config) {
   sim::Simulator sim;
+#if DRRS_AUDIT
+  std::optional<verify::Auditor> auditor;
+  if (config.audit) {
+    auditor.emplace();
+    sim.set_auditor(&*auditor);
+  }
+#endif
   auto hub = std::make_unique<metrics::MetricsHub>();
   runtime::ExecutionGraph graph(&sim, workload.graph, config.engine,
                                 hub.get());
@@ -124,6 +131,13 @@ ExperimentResult RunExperiment(const workloads::WorkloadSpec& workload,
   sim.RunUntil(horizon);
 
   ExperimentResult result;
+#if DRRS_AUDIT
+  if (auditor.has_value()) {
+    // Leak checks only make sense once the event queue fully drained.
+    if (horizon == sim::kSimTimeMax) auditor->Finalize();
+    result.audit = auditor->Report();
+  }
+#endif
   result.system = strategy ? strategy->name() : SystemName(config.system);
   result.workload = workload.name;
   result.scale_at = config.scale_at;

@@ -9,6 +9,7 @@
 #include "runtime/execution_graph.h"
 #include "scaling/scale_service.h"
 #include "sim/simulator.h"
+#include "verify/auditor.h"
 #include "workloads/workloads.h"
 
 namespace drrs::harness {
@@ -59,6 +60,10 @@ struct ExperimentConfig {
   /// (<= 0 disables). Sampling stops once all sources are exhausted so
   /// run-to-completion experiments still drain the event queue.
   sim::SimTime state_sample_period = sim::Seconds(1);
+  /// Install a verify::Auditor for the run. Only effective in DRRS_AUDIT
+  /// builds — in other builds no hook sites exist and this is a no-op, so
+  /// the field is safe to leave on.
+  bool audit = true;
 };
 
 struct ExperimentResult {
@@ -83,6 +88,9 @@ struct ExperimentResult {
 
   metrics::ScalingMetrics::TransferStats transfers;  ///< Meces analysis
   metrics::InvariantMonitor invariants;
+  /// Invariant-audit findings (enabled=false unless built with DRRS_AUDIT
+  /// and config.audit was set; finalized only for run-to-completion runs).
+  verify::AuditReport audit;
 
   uint64_t source_records = 0;
   uint64_t sink_records = 0;

@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "common/logging.h"
+#include "verify/audit_hooks.h"
 
 namespace drrs::net {
 
@@ -23,12 +24,14 @@ Channel::Channel(sim::Simulator* sim, const NetworkConfig& config,
 }
 
 void Channel::Push(StreamElement element) {
+  DRRS_AUDIT_CALL(sim_->auditor(), OnElementPushed(&element));
   output_queue_.push_back(std::move(element));
   if (congested()) congestion_latched_ = true;
   TryTransmit();
 }
 
 void Channel::PushPriority(StreamElement element) {
+  DRRS_AUDIT_CALL(sim_->auditor(), OnElementPushed(&element));
   output_queue_.push_front(std::move(element));
   if (congested()) congestion_latched_ = true;
   TryTransmit();
@@ -62,6 +65,7 @@ std::vector<StreamElement> Channel::ExtractFromOutput(
   }
   output_queue_.erase(output_queue_.begin() + static_cast<std::ptrdiff_t>(w),
                       output_queue_.end());
+  DRRS_AUDIT_CALL(sim_->auditor(), OnElementsExtracted(extracted));
   MaybeFireDecongest();
   return extracted;
 }
@@ -90,6 +94,7 @@ std::vector<StreamElement> Channel::ExtractFromOutputBefore(
   }
   output_queue_.erase(output_queue_.begin() + static_cast<std::ptrdiff_t>(w),
                       output_queue_.end());
+  DRRS_AUDIT_CALL(sim_->auditor(), OnElementsExtracted(extracted));
   MaybeFireDecongest();
   return extracted;
 }
@@ -134,6 +139,7 @@ void Channel::TryTransmit() {
     StreamElement e = std::move(output_queue_.front());
     output_queue_.pop_front();
     sent = true;
+    DRRS_AUDIT_CALL(sim_->auditor(), OnElementTransmitted(e));
     sim::SimTime depart = std::max(sim_->now(), link_free_at_);
     auto transfer = static_cast<sim::SimTime>(
         static_cast<double>(e.WireBytes()) / config_.bandwidth_bytes_per_us);
@@ -184,6 +190,11 @@ void Channel::FireBypassEvent() {
 void Channel::Deliver(StreamElement element) {
   ++delivered_elements_;
   delivered_bytes_ += element.WireBytes();
+  DRRS_AUDIT_CALL(sim_->auditor(),
+                  OnElementDelivered(element, wire_.size(),
+                                     input_queue_.size() + 1,
+                                     config_.input_buffer_capacity,
+                                     receiver_id_));
   input_queue_.push_back(std::move(element));
   receiver_task_->OnElementAvailable(this);
   // Note: we do not TryTransmit() here; credit was consumed, not released.

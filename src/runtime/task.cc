@@ -5,6 +5,7 @@
 
 #include "common/logging.h"
 #include "runtime/checkpoint.h"
+#include "verify/audit_hooks.h"
 
 namespace drrs::runtime {
 
@@ -297,6 +298,7 @@ void Task::ProcessDataRecord(net::Channel* channel, StreamElement& element) {
     busy_until_ = sim_->now() + kControlCost;
     return;
   }
+  DRRS_AUDIT_CALL(sim_->auditor(), OnRecordProcessed(element, op_, id_));
   CheckRecordInvariants(element);
   busy_until_ = sim_->now() + spec_.record_cost;
   busy_time_ += spec_.record_cost;
@@ -312,6 +314,7 @@ void Task::ProcessDataRecord(net::Channel* channel, StreamElement& element) {
 
 void Task::ProcessRecordDirect(const StreamElement& record) {
   StreamElement copy = record;
+  DRRS_AUDIT_CALL(sim_->auditor(), OnRecordProcessed(copy, op_, id_));
   CheckRecordInvariants(copy);
   busy_until_ = std::max(busy_until_, sim_->now()) + spec_.record_cost;
   busy_time_ += spec_.record_cost;
@@ -371,6 +374,7 @@ void Task::RecomputeWatermark() {
   }
   if (channel_watermarks_.size() < regular) return;
   sim::SimTime wm = sim::kSimTimeMax;
+  // lint:allow(unordered-iteration): pure min-fold; order-independent.
   for (const auto& [ch, v] : channel_watermarks_) wm = std::min(wm, v);
   // Side watermarks (from instances still migrating state to us) hold the
   // operator watermark back until their scaling path completes.
@@ -403,7 +407,10 @@ void Task::ForwardMarker(const StreamElement& marker) {
 
 void Task::StampOutgoing(StreamElement* element) {
   element->from_instance = id_;
-  if (check_invariants_ && element->kind == ElementKind::kRecord) {
+  bool stamp = check_invariants_;
+  // The auditor's ordering check reuses the same per-(sender, key) stamps.
+  DRRS_AUDIT_ONLY(stamp = stamp || sim_->auditor() != nullptr;)
+  if (stamp && element->kind == ElementKind::kRecord) {
     element->seq = ++emit_seq_[element->key];
   }
 }
@@ -415,6 +422,7 @@ void Task::Emit(const StreamElement& record) {
     StreamElement e = record;
     e.from_instance = id_;
     e.seq = 0;
+    e.audit_id = 0;  // operator emission: a new logical element
     uint32_t target = 0;
     switch (edge.partitioning) {
       case dataflow::Partitioning::kHash:
@@ -479,7 +487,10 @@ void Task::OnCheckpointBarrierDefault(net::Channel* channel,
     }
   }
   DRRS_CHECK(ckpt_id_ == barrier.checkpoint_id);
-  ckpt_received_.insert(channel);
+  if (std::find(ckpt_received_.begin(), ckpt_received_.end(), channel) ==
+      ckpt_received_.end()) {
+    ckpt_received_.push_back(channel);
+  }
   BlockChannel(channel);
   if (ckpt_received_.size() < ckpt_expected_) return;
   // Aligned: snapshot, forward, unblock.

@@ -2,6 +2,7 @@
 #define DRRS_RUNTIME_TASK_H_
 
 #include <cstdint>
+#include <map>
 #include <memory>
 #include <unordered_map>
 #include <unordered_set>
@@ -238,7 +239,9 @@ class Task : public net::ChannelReceiver, public dataflow::OperatorContext {
 
   // watermark tracking
   std::unordered_map<net::Channel*, sim::SimTime> channel_watermarks_;
-  std::unordered_map<dataflow::InstanceId, sim::SimTime> side_watermarks_;
+  /// Ordered map: RecomputeWatermark iterates it, and InstanceId keys give a
+  /// deterministic order (pointer-keyed containers would not under ASLR).
+  std::map<dataflow::InstanceId, sim::SimTime> side_watermarks_;
   sim::SimTime operator_watermark_ = -1;
   void RecomputeWatermark();
 
@@ -246,7 +249,10 @@ class Task : public net::ChannelReceiver, public dataflow::OperatorContext {
   bool ckpt_active_ = false;
   uint64_t ckpt_id_ = 0;
   size_t ckpt_expected_ = 0;  ///< regular channels when alignment began
-  std::unordered_set<net::Channel*> ckpt_received_;
+  /// Insertion-ordered (barriers arrive once per channel): the post-align
+  /// unblock loop iterates it, and unblock order feeds event scheduling, so
+  /// it must not depend on pointer hashing.
+  std::vector<net::Channel*> ckpt_received_;
 
   // emission state
   std::unordered_map<dataflow::KeyT, uint64_t> emit_seq_;

@@ -1,6 +1,7 @@
 #include "scaling/core/scale_context.h"
 
 #include "common/logging.h"
+#include "verify/audit_hooks.h"
 
 namespace drrs::scaling {
 
@@ -9,6 +10,7 @@ dataflow::ScaleId ScaleContext::BeginScale() {
   session_ = TransferSession(&transfer_, id);
   active_ = true;
   hub_->scaling().RecordScaleStart(graph_->sim()->now());
+  DRRS_AUDIT_CALL(graph_->sim()->auditor(), OnScaleBegin(id));
   return id;
 }
 
@@ -17,8 +19,30 @@ void ScaleContext::AttachHook(runtime::Task* task, runtime::TaskHook* hook) {
   hooked_.push_back(task);
 }
 
+void ScaleContext::OpenSubscale(dataflow::SubscaleId id) {
+  DRRS_AUDIT_CALL(graph_->sim()->auditor(),
+                  OnSubscaleOpen(session_.scale(), id));
+  open_subscales_.insert(id);
+}
+
+void ScaleContext::CloseSubscale(dataflow::SubscaleId id) {
+  DRRS_AUDIT_CALL(graph_->sim()->auditor(),
+                  OnSubscaleClose(session_.scale(), id));
+  open_subscales_.erase(id);
+}
+
 void ScaleContext::EndScale() {
-  if (session_.valid()) {
+  bool enforce = true;
+#if DRRS_AUDIT
+  if (verify::Auditor* auditor = graph_->sim()->auditor()) {
+    // The auditor records protocol violations (open subscales, transfer
+    // leaks) instead of aborting, so fault-injection tests can observe them.
+    auditor->OnScaleEnd(session_.scale(), open_subscales_.size(),
+                        session_.valid() ? session_.in_flight() : 0);
+    enforce = false;
+  }
+#endif
+  if (enforce && session_.valid()) {
     DRRS_CHECK(session_.in_flight() == 0)
         << "state transfer leak: " << session_.in_flight()
         << " chunk(s) of scale " << session_.scale()

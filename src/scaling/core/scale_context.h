@@ -49,8 +49,8 @@ class ScaleContext {
   void EndScale();
 
   // -- subscale lifecycle (Section III-C / IV-A concurrency control) --
-  void OpenSubscale(dataflow::SubscaleId id) { open_subscales_.insert(id); }
-  void CloseSubscale(dataflow::SubscaleId id) { open_subscales_.erase(id); }
+  void OpenSubscale(dataflow::SubscaleId id);
+  void CloseSubscale(dataflow::SubscaleId id);
   const std::set<dataflow::SubscaleId>& open_subscales() const {
     return open_subscales_;
   }

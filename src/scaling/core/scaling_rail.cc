@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <utility>
 
+#include "verify/audit_hooks.h"
+
 namespace drrs::scaling {
 
 using dataflow::ElementKind;
@@ -11,8 +13,10 @@ using dataflow::StreamElement;
 net::Channel* ScalingRails::Open(runtime::Task* from, runtime::Task* to,
                                  bool seed_watermark) {
   net::Channel* rail = graph_->GetOrCreateScalingChannel(from, to);
-  if (by_source_[from->id()].insert(rail).second && seed_watermark) {
-    SeedWatermark(rail, from);
+  std::vector<net::Channel*>& rails = by_source_[from->id()];
+  if (std::find(rails.begin(), rails.end(), rail) == rails.end()) {
+    rails.push_back(rail);
+    if (seed_watermark) SeedWatermark(rail, from);
   }
   return rail;
 }
@@ -37,6 +41,8 @@ void ScalingRails::ForwardWatermark(runtime::Task* from, sim::SimTime wm) {
 void ScalingRails::PushComplete(net::Channel* rail, dataflow::InstanceId from,
                                 dataflow::ScaleId scale,
                                 dataflow::SubscaleId subscale) {
+  DRRS_AUDIT_CALL(graph_->sim()->auditor(),
+                  OnCompleteSent(scale, subscale, from, rail->receiver_id()));
   StreamElement done;
   done.kind = ElementKind::kScaleComplete;
   done.scale_id = scale;
@@ -47,13 +53,20 @@ void ScalingRails::PushComplete(net::Channel* rail, dataflow::InstanceId from,
 
 void ScalingRails::Release(net::Channel* rail) {
   auto it = by_source_.find(rail->sender_id());
-  if (it == by_source_.end() || it->second.erase(rail) == 0) return;
+  if (it == by_source_.end()) return;
+  auto pos = std::find(it->second.begin(), it->second.end(), rail);
+  if (pos == it->second.end()) return;
+  it->second.erase(pos);
+  DRRS_AUDIT_CALL(graph_->sim()->auditor(),
+                  OnRailReleased(rail->sender_id(), rail->receiver_id()));
   graph_->task(rail->receiver_id())->ClearSideWatermark(rail->sender_id());
 }
 
 void ScalingRails::ReleaseAll() {
   for (const auto& [from, rails] : by_source_) {
     for (net::Channel* rail : rails) {
+      DRRS_AUDIT_CALL(graph_->sim()->auditor(),
+                      OnRailReleased(from, rail->receiver_id()));
       graph_->task(rail->receiver_id())->ClearSideWatermark(from);
     }
   }

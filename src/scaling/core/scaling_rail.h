@@ -2,7 +2,7 @@
 #define DRRS_SCALING_CORE_SCALING_RAIL_H_
 
 #include <map>
-#include <set>
+#include <vector>
 
 #include "net/channel.h"
 #include "runtime/execution_graph.h"
@@ -42,9 +42,9 @@ class ScalingRails {
   void ForwardWatermark(runtime::Task* from, sim::SimTime wm);
 
   /// Push the kScaleComplete teardown marker closing one old->new path.
-  static void PushComplete(net::Channel* rail, dataflow::InstanceId from,
-                           dataflow::ScaleId scale,
-                           dataflow::SubscaleId subscale);
+  /// (Member, not static: the audit hook needs the graph's simulator.)
+  void PushComplete(net::Channel* rail, dataflow::InstanceId from,
+                    dataflow::ScaleId scale, dataflow::SubscaleId subscale);
 
   /// Whether `from` currently has open rails (watermark forwarding active).
   bool HasRailsFrom(dataflow::InstanceId from) const {
@@ -66,7 +66,10 @@ class ScalingRails {
 
  private:
   runtime::ExecutionGraph* graph_;
-  std::map<dataflow::InstanceId, std::set<net::Channel*>> by_source_;
+  // Rails per source in open order: watermark forwarding and teardown walk
+  // this list, so it must not be keyed by channel address (pointer order is
+  // not stable across runs).
+  std::map<dataflow::InstanceId, std::vector<net::Channel*>> by_source_;
 };
 
 }  // namespace drrs::scaling

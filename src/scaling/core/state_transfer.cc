@@ -3,6 +3,7 @@
 #include <utility>
 
 #include "common/logging.h"
+#include "verify/audit_hooks.h"
 
 namespace drrs::scaling {
 
@@ -20,11 +21,14 @@ uint64_t StateTransfer::Enqueue(runtime::Task* from, net::Channel* rail,
   uint64_t bytes = state.TotalBytes() + kChunkEnvelopeBytes;
   uint64_t id = next_id_++;
   in_transit_[id] = Transit{std::move(state), whole, proto.scale_id};
+  sim_ = from->simulator();
   StreamElement chunk = proto;
   chunk.kind = ElementKind::kStateChunk;
   chunk.from_instance = from->id();
   chunk.seq = id;
   chunk.chunk_bytes = bytes;
+  DRRS_AUDIT_CALL(sim_->auditor(),
+                  OnChunkEnqueued(chunk, from->id(), rail->receiver_id()));
   if (priority) {
     rail->PushPriority(std::move(chunk));
   } else {
@@ -72,9 +76,19 @@ bool StateTransfer::Install(runtime::Task* to, const StreamElement& chunk) {
   if (it == in_transit_.end()) {
     // A chunk whose scale was aborted mid-flight is dropped, once.
     auto aborted = aborted_.find(chunk.seq);
-    DRRS_CHECK(aborted != aborted_.end())
-        << "unknown state transfer " << chunk.seq;
-    aborted_.erase(aborted);
+    if (aborted != aborted_.end()) {
+      aborted_.erase(aborted);
+      return false;
+    }
+#if DRRS_AUDIT
+    if (verify::Auditor* auditor = to->simulator()->auditor()) {
+      // Under audit a duplicated/corrupted chunk is a recorded violation,
+      // not a process abort, so fault-injection tests can assert on it.
+      auditor->OnChunkUnknownInstall(chunk);
+      return false;
+    }
+#endif
+    DRRS_CHECK(false) << "unknown state transfer " << chunk.seq;
     return false;
   }
   Transit transit = std::move(it->second);
@@ -89,12 +103,15 @@ bool StateTransfer::Install(runtime::Task* to, const StreamElement& chunk) {
       *to->state()->GetOrCreate(chunk.key_group, key) = std::move(cell);
     }
   }
+  DRRS_AUDIT_CALL(to->simulator()->auditor(), OnChunkInstalled(chunk, to->id()));
   return true;
 }
 
 void StateTransfer::AbortScale(dataflow::ScaleId scale) {
   for (auto it = in_transit_.begin(); it != in_transit_.end();) {
     if (it->second.scale == scale) {
+      DRRS_AUDIT_CALL(sim_ != nullptr ? sim_->auditor() : nullptr,
+                      OnChunkAborted(it->first));
       aborted_.insert(it->first);
       it = in_transit_.erase(it);
     } else {

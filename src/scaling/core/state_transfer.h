@@ -2,8 +2,8 @@
 #define DRRS_SCALING_CORE_STATE_TRANSFER_H_
 
 #include <cstdint>
+#include <map>
 #include <set>
-#include <unordered_map>
 
 #include "dataflow/stream_element.h"
 #include "net/channel.h"
@@ -62,7 +62,12 @@ class StateTransfer {
     bool whole_group = false;
     dataflow::ScaleId scale = 0;
   };
-  std::unordered_map<uint64_t, Transit> in_transit_;
+  /// Ordered map: AbortScale and the per-scale count iterate it, and a
+  /// decision path must not depend on hash-bucket order.
+  std::map<uint64_t, Transit> in_transit_;
+  /// Simulator of the graph the chunks travel in, captured at first Enqueue
+  /// (audit-hook access for AbortScale, which has no task handle).
+  sim::Simulator* sim_ = nullptr;
   /// Transfer ids dropped by AbortScale whose chunk element is still on the
   /// wire; Install consumes and ignores them.
   std::set<uint64_t> aborted_;

@@ -441,7 +441,7 @@ void DrrsStrategy::MaybeSendComplete(Task* src, dataflow::SubscaleId id) {
     return;
   }
   out.complete_sent = true;
-  ScalingRails::PushComplete(out.rail, src->id(), core_.scale_id(), id);
+  core_.rails().PushComplete(out.rail, src->id(), core_.scale_id(), id);
 }
 
 // ---- destination side -----------------------------------------------------

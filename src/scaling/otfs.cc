@@ -216,7 +216,7 @@ void OtfsStrategy::PumpMigration(Task* src) {
   // rails are only forgotten (Reset), not released, at MaybeFinish.
   for (OutPath& p : paths) {
     if (p.rail == nullptr) continue;
-    ScalingRails::PushComplete(p.rail, src->id(), core_.scale_id(), 0);
+    core_.rails().PushComplete(p.rail, src->id(), core_.scale_id(), 0);
     p.rail = nullptr;
   }
 }

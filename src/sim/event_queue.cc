@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "common/logging.h"
+#include "verify/audit_hooks.h"
 
 namespace drrs::sim {
 
@@ -22,6 +23,7 @@ SimTime EventQueue::Pop(Callback* out) {
   std::pop_heap(heap_.begin(), heap_.end(), Later{});
   Event& last = heap_.back();
   SimTime t = last.time;
+  DRRS_AUDIT_CALL(auditor_, OnEventPopped(t, last.seq));
   *out = std::move(last.cb);
   heap_.pop_back();
   ++popped_;

@@ -7,13 +7,21 @@
 #include "sim/event_callback.h"
 #include "sim/sim_time.h"
 
+namespace drrs::verify {
+class Auditor;
+}  // namespace drrs::verify
+
 namespace drrs::sim {
 
 /// \brief Priority queue of timed callbacks, ordered by (time, insertion seq).
 ///
-/// Ties are broken by insertion order so simulations are fully deterministic:
-/// two events scheduled for the same instant fire in the order they were
-/// scheduled.
+/// Tie-break rule: events scheduled for the same instant fire in the order
+/// they were *scheduled* (FIFO by the monotonically increasing insertion
+/// sequence). This is a hard guarantee, not a heap accident — the comparator
+/// orders on (time, seq) and seq is unique — so simulations are fully
+/// deterministic even when many events share a timestamp. The determinism
+/// auditor (verify::Auditor, DRRS_AUDIT builds) checks the rule on every pop
+/// and counts same-time pops as tie-break hazards.
 ///
 /// The payload is an `EventCallback` (small-buffer-optimized, move-only):
 /// steady-state engine events carry a capture of at most a few pointers and
@@ -44,6 +52,9 @@ class EventQueue {
   /// scheduled_count(); `scheduled_count() - popped_count() == size()`.
   uint64_t popped_count() const { return popped_; }
 
+  /// Auditor notified on every pop (DRRS_AUDIT builds; ignored otherwise).
+  void set_auditor(verify::Auditor* auditor) { auditor_ = auditor; }
+
  private:
   struct Event {
     SimTime time;
@@ -63,6 +74,7 @@ class EventQueue {
   std::vector<Event> heap_;
   uint64_t next_seq_ = 0;
   uint64_t popped_ = 0;
+  verify::Auditor* auditor_ = nullptr;
 };
 
 }  // namespace drrs::sim

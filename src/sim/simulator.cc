@@ -4,8 +4,15 @@
 #include <utility>
 
 #include "common/logging.h"
+#include "verify/auditor.h"
 
 namespace drrs::sim {
+
+void Simulator::set_auditor(verify::Auditor* auditor) {
+  auditor_ = auditor;
+  queue_.set_auditor(auditor);
+  if (auditor != nullptr) auditor->AttachSimulator(this);
+}
 
 void Simulator::ScheduleAt(SimTime at, EventQueue::Callback cb) {
   if (at < now_) at = now_;
@@ -51,7 +58,12 @@ struct PeriodicState {
 };
 
 void FirePeriodic(const std::shared_ptr<PeriodicState>& state) {
-  if (state->cancelled) return;
+  if (state->cancelled) {
+    // The armed event outlives its cancellation by design (the shared token
+    // keeps captures valid); count the no-op fire so audits can see it.
+    state->sim->NoteCancelledFire();
+    return;
+  }
   state->body();
   if (state->cancelled) return;
   state->sim->ScheduleAfter(state->period,

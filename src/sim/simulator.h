@@ -7,6 +7,10 @@
 #include "sim/event_queue.h"
 #include "sim/sim_time.h"
 
+namespace drrs::verify {
+class Auditor;
+}  // namespace drrs::verify
+
 namespace drrs::sim {
 
 /// \brief Discrete-event simulation driver.
@@ -42,10 +46,25 @@ class Simulator {
 
   uint64_t executed_events() const { return executed_; }
 
+  /// Install (or clear, with nullptr) the invariant auditor. The pointer is
+  /// forwarded to the event queue and read by every engine hook site; the
+  /// hooks themselves only exist in DRRS_AUDIT builds.
+  void set_auditor(verify::Auditor* auditor);
+  verify::Auditor* auditor() const { return auditor_; }
+
+  /// Cancelled periodic events that still fired (as no-ops). A cancelled
+  /// PeriodicProcess leaves its already-armed event in the queue by design;
+  /// this counter makes the "leak" observable, mirroring
+  /// EventQueue::popped_count().
+  uint64_t cancelled_fires() const { return cancelled_fires_; }
+  void NoteCancelledFire() { ++cancelled_fires_; }
+
  private:
   SimTime now_ = 0;
   uint64_t executed_ = 0;
   EventQueue queue_;
+  verify::Auditor* auditor_ = nullptr;
+  uint64_t cancelled_fires_ = 0;
 };
 
 /// \brief Helper that re-schedules a callback at a fixed period until

@@ -1,0 +1,40 @@
+#ifndef DRRS_VERIFY_AUDIT_HOOKS_H_
+#define DRRS_VERIFY_AUDIT_HOOKS_H_
+
+/// Hook-site glue for the invariant auditor (see verify/auditor.h).
+///
+/// `DRRS_AUDIT` is defined to 1 by the CMake option of the same name. The
+/// Auditor *class* is compiled in every build (its unit tests always run);
+/// only these hot-path call sites vanish when the option is off, so the
+/// non-audit engine carries zero audit cost and produces bit-identical
+/// traces.
+#ifndef DRRS_AUDIT
+#define DRRS_AUDIT 0
+#endif
+
+#if DRRS_AUDIT
+
+#include "verify/auditor.h"
+
+/// Invoke `call` (an Auditor member call, e.g. `OnEventPopped(t, s)`) on the
+/// auditor yielded by `auditor_expr` when one is installed.
+#define DRRS_AUDIT_CALL(auditor_expr, call)                 \
+  do {                                                      \
+    ::drrs::verify::Auditor* drrs_audit_a = (auditor_expr); \
+    if (drrs_audit_a != nullptr) drrs_audit_a->call;        \
+  } while (0)
+
+/// Emit `stmt` only in audit builds (for glue that is not a single call).
+#define DRRS_AUDIT_ONLY(stmt) stmt
+
+#else
+
+#define DRRS_AUDIT_CALL(auditor_expr, call) \
+  do {                                      \
+  } while (0)
+
+#define DRRS_AUDIT_ONLY(stmt)
+
+#endif  // DRRS_AUDIT
+
+#endif  // DRRS_VERIFY_AUDIT_HOOKS_H_

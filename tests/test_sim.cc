@@ -36,6 +36,24 @@ TEST(EventQueue, TieBrokenByInsertionOrder) {
   for (int i = 0; i < 10; ++i) EXPECT_EQ(fired[i], i);
 }
 
+TEST(EventQueue, TieBreakIsGlobalInsertionOrder) {
+  // The tie-break rule is FIFO by the queue-wide insertion sequence, not a
+  // per-timestamp counter: among same-time events, whichever was scheduled
+  // first (at any point) pops first.
+  EventQueue q;
+  std::vector<int> fired;
+  q.Schedule(7, [&] { fired.push_back(1); });
+  q.Schedule(5, [&] { fired.push_back(2); });
+  q.Schedule(7, [&] { fired.push_back(3); });
+  q.Schedule(5, [&] { fired.push_back(4); });
+  while (!q.empty()) {
+    EventQueue::Callback cb;
+    q.Pop(&cb);
+    cb();
+  }
+  EXPECT_EQ(fired, (std::vector<int>{2, 4, 1, 3}));
+}
+
 TEST(EventQueue, PeekTimeEmpty) {
   EventQueue q;
   EXPECT_EQ(q.PeekTime(), kSimTimeMax);
@@ -139,6 +157,19 @@ TEST(PeriodicProcess, DestructionCancelsSafely) {
   }
   sim.RunUntil(10);  // must not crash or fire
   EXPECT_EQ(count, 0);
+}
+
+TEST(PeriodicProcess, CancelledFiresAreCountedNotExecuted) {
+  // A cancelled process can still have one armed event in the queue; it
+  // must fire as a no-op, and the simulator accounts for it so audits can
+  // distinguish "no event" from "event swallowed by cancellation".
+  Simulator sim;
+  int count = 0;
+  PeriodicProcess p(&sim, 10, 10, [&] { ++count; });
+  sim.ScheduleAt(5, [&] { p.Cancel(); });  // cancel while armed for t=10
+  sim.RunUntilIdle();
+  EXPECT_EQ(count, 0);
+  EXPECT_EQ(sim.cancelled_fires(), 1u);
 }
 
 }  // namespace
