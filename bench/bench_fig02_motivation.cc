@@ -46,6 +46,7 @@ int main(int argc, char** argv) {
     // Keep the invariant counters armed: Unbound's correctness sacrifice is
     // part of what this figure demonstrates.
     config.engine.check_invariants = true;
+    if (args.faults) drrs::bench::ApplyFaultConfig(config);
     results.push_back(RunExperiment(spec, config));
   }
 
@@ -78,6 +79,9 @@ int main(int argc, char** argv) {
       " Unbound 1.25x avg / 1.14x peak.\n"
       "Unbound trades correctness for this: its state-miss count above is"
       " nonzero by design.\n");
+
+  std::printf("\n");
+  for (const auto& r : results) drrs::harness::PrintRunSummary(r);
 
   if (args.series) {
     for (const auto& r : results) {

@@ -103,10 +103,13 @@ inline workloads::WorkloadSpec BuildByName(const std::string& name,
 
 /// Common CLI: every figure binary accepts `--scale <f>` (workload scale
 /// factor) and `--series` (print the full time series, off by default to
-/// keep `for b in bench/*; do $b; done` output compact).
+/// keep `for b in bench/*; do $b; done` output compact). `--faults` arms
+/// the canonical chunk-loss schedule (see FaultConfig) on binaries that
+/// support it, for recovery-latency comparisons against the clean run.
 struct BenchArgs {
   double scale = 1.0;
   bool series = true;
+  bool faults = false;
 
   static BenchArgs Parse(int argc, char** argv) {
     BenchArgs args;
@@ -115,11 +118,24 @@ struct BenchArgs {
         args.scale = std::atof(argv[++i]);
       } else if (std::strcmp(argv[i], "--no-series") == 0) {
         args.series = false;
+      } else if (std::strcmp(argv[i], "--faults") == 0) {
+        args.faults = true;
       }
     }
     return args;
   }
 };
+
+/// The canonical `--faults` schedule: drop a quarter of the state chunks
+/// (capped) around the migration and recover them via per-chunk
+/// ack/retransmission. Chunk faults only fire on kStateChunk transmissions,
+/// so a no-scale reference run is naturally unaffected.
+inline void ApplyFaultConfig(harness::ExperimentConfig& c) {
+  c.faults.seed = 20250705;
+  c.faults.chunk.drop_rate = 0.25;
+  c.faults.chunk.max_drops = 16;
+  c.chunk_retry.enabled = true;
+}
 
 }  // namespace drrs::bench
 

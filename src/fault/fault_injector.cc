@@ -1,0 +1,174 @@
+#include "fault/fault_injector.h"
+
+#include <utility>
+
+#include "common/logging.h"
+#include "runtime/checkpoint.h"
+
+namespace drrs::fault {
+
+using dataflow::ElementKind;
+using dataflow::StreamElement;
+
+FaultInjector::FaultInjector(runtime::ExecutionGraph* graph,
+                             FaultSchedule schedule)
+    : graph_(graph), schedule_(std::move(schedule)), rng_(schedule_.seed) {
+  for (const FaultSchedule::LinkFault& link : schedule_.links) {
+    if (link.partition_at >= 0) {
+      DRRS_CHECK(link.heal_at > link.partition_at)
+          << "link partition " << link.from << "->" << link.to
+          << " must heal after it starts";
+    }
+    if (link.degrade_from >= 0) {
+      DRRS_CHECK(link.bandwidth_factor > 0.0 && link.bandwidth_factor <= 1.0)
+          << "bandwidth_factor must be in (0, 1]";
+    }
+  }
+}
+
+void FaultInjector::Arm() {
+  sim::Simulator* sim = graph_->sim();
+  sim->set_fault_plane(this);
+
+  for (sim::SimTime at : schedule_.checkpoints) {
+    sim->ScheduleAt(at, [this]() {
+      runtime::CheckpointCoordinator* ckpt = graph_->checkpoint_coordinator();
+      if (ckpt == nullptr) {
+        DRRS_LOG(Warn) << "fault schedule asks for a checkpoint but the "
+                          "graph has no CheckpointCoordinator";
+        return;
+      }
+      ckpt->Trigger();
+    });
+  }
+
+  for (const FaultSchedule::LinkFault& link : schedule_.links) {
+    if (link.partition_at < 0) continue;
+    sim->ScheduleAt(link.partition_at,
+                    [this]() { ++recovery().links_partitioned; });
+    sim->ScheduleAt(link.heal_at, [this]() { HealLinks(); });
+  }
+
+  for (const FaultSchedule::CrashFault& crash : schedule_.crashes) {
+    FaultSchedule::CrashFault c = crash;
+    sim->ScheduleAt(c.at, [this, c]() { InjectCrash(c); });
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Link faults
+// ---------------------------------------------------------------------------
+
+bool FaultInjector::AllowTransmit(const net::Channel& channel) {
+  sim::SimTime now = graph_->sim()->now();
+  for (const FaultSchedule::LinkFault& link : schedule_.links) {
+    if (link.partition_at < 0) continue;
+    if (link.from != channel.sender_id() || link.to != channel.receiver_id()) {
+      continue;
+    }
+    if (now >= link.partition_at && now < link.heal_at) {
+      // Remember the channel (once) so HealLinks can restart it: nothing
+      // else re-attempts transmission when no new element is pushed.
+      if (blocked_seen_.insert(&channel).second) {
+        blocked_channels_.push_back(const_cast<net::Channel*>(&channel));
+      }
+      return false;
+    }
+  }
+  return true;
+}
+
+void FaultInjector::HealLinks() {
+  ++recovery().links_healed;
+  // Poke every channel a partition ever stopped. Channels still inside
+  // another partition window simply stay blocked.
+  // lint:allow(unordered-iteration): vector in deterministic first-block
+  for (net::Channel* ch : blocked_channels_) ch->PokeTransmit();
+}
+
+double FaultInjector::BandwidthFactor(const net::Channel& channel) {
+  sim::SimTime now = graph_->sim()->now();
+  double factor = 1.0;
+  for (const FaultSchedule::LinkFault& link : schedule_.links) {
+    if (link.degrade_from < 0) continue;
+    if (link.from != channel.sender_id() || link.to != channel.receiver_id()) {
+      continue;
+    }
+    if (now >= link.degrade_from && now < link.degrade_until) {
+      factor *= link.bandwidth_factor;
+    }
+  }
+  return factor;
+}
+
+// ---------------------------------------------------------------------------
+// Chunk faults
+// ---------------------------------------------------------------------------
+
+net::ChunkFaultDecision FaultInjector::OnChunkTransmit(
+    const net::Channel& /*channel*/, const StreamElement& chunk) {
+  net::ChunkFaultDecision verdict;
+  const FaultSchedule::ChunkFaults& f = schedule_.chunk;
+  if (!f.any()) return verdict;
+  sim::SimTime now = graph_->sim()->now();
+  if (now < f.from || (f.until >= 0 && now >= f.until)) return verdict;
+  DRRS_CHECK(chunk.kind == ElementKind::kStateChunk);
+  if (f.drop_rate > 0.0 && drops_done_ < f.max_drops &&
+      rng_.NextDouble() < f.drop_rate) {
+    ++drops_done_;
+    ++recovery().chunks_dropped;
+    verdict.drop = true;
+    return verdict;
+  }
+  if (f.duplicate_rate > 0.0 && rng_.NextDouble() < f.duplicate_rate) {
+    ++recovery().chunks_duplicated;
+    verdict.duplicate = true;
+  }
+  if (f.delay_rate > 0.0 && rng_.NextDouble() < f.delay_rate) {
+    ++recovery().chunks_delayed;
+    verdict.extra_delay = f.delay;
+  }
+  return verdict;
+}
+
+// ---------------------------------------------------------------------------
+// Task crash / recovery
+// ---------------------------------------------------------------------------
+
+void FaultInjector::InjectCrash(const FaultSchedule::CrashFault& crash) {
+  DRRS_CHECK(crash.subtask < graph_->parallelism_of(crash.op))
+      << "crash fault targets missing subtask " << crash.subtask
+      << " of operator " << crash.op;
+  runtime::Task* task = graph_->instance(crash.op, crash.subtask);
+  DRRS_LOG(Warn) << "fault: crashing task " << task->id() << " (operator "
+                 << crash.op << " subtask " << crash.subtask << ")";
+  task->Crash();
+  ++recovery().crashes_injected;
+  dataflow::InstanceId id = task->id();
+  graph_->sim()->ScheduleAfter(crash.recover_after,
+                               [this, id]() { RecoverTask(id); });
+}
+
+void FaultInjector::RecoverTask(dataflow::InstanceId id) {
+  runtime::Task* task = graph_->task(id);
+  static const std::vector<state::KeyGroupState> kEmptySnapshot;
+  const std::vector<state::KeyGroupState>* snapshot = &kEmptySnapshot;
+  runtime::CheckpointCoordinator* ckpt = graph_->checkpoint_coordinator();
+  const runtime::CheckpointData* latest =
+      ckpt != nullptr ? ckpt->LatestComplete() : nullptr;
+  if (latest != nullptr) {
+    auto it = latest->snapshots.find(id);
+    if (it != latest->snapshots.end()) snapshot = &it->second;
+  } else {
+    DRRS_LOG(Warn) << "fault: no completed checkpoint; task " << id
+                   << " recovers with empty keyed state";
+  }
+  uint64_t replayed = task->Recover(*snapshot);
+  ++recovery().crash_recoveries;
+  recovery().replayed_elements += replayed;
+  DRRS_LOG(Warn) << "fault: task " << id << " recovered (checkpoint "
+                 << (latest != nullptr ? latest->id : 0) << ", " << replayed
+                 << " queued record(s) replay in place)";
+}
+
+}  // namespace drrs::fault

@@ -1,0 +1,120 @@
+#ifndef DRRS_FAULT_FAULT_INJECTOR_H_
+#define DRRS_FAULT_FAULT_INJECTOR_H_
+
+#include <cstdint>
+#include <set>
+#include <vector>
+
+#include "common/random.h"
+#include "dataflow/stream_element.h"
+#include "net/fault_plane.h"
+#include "runtime/execution_graph.h"
+#include "sim/sim_time.h"
+
+namespace drrs::fault {
+
+/// \brief Declarative, seeded fault schedule executed in simulated time.
+///
+/// Every stochastic decision derives from one SplitMix64 stream seeded with
+/// `seed` and drawn in event order, so the same schedule on the same
+/// workload produces the same faults — and the same recovery — every run.
+/// An all-defaults schedule (`any() == false`) never arms anything and
+/// leaves the event trace bit-identical to a fault-free build.
+struct FaultSchedule {
+  uint64_t seed = 1;
+
+  /// Stochastic state-chunk faults applied at transmit time within the
+  /// [from, until) window (until < 0 means "until the end of the run").
+  struct ChunkFaults {
+    double drop_rate = 0.0;       ///< P(lose the chunk on the wire)
+    double duplicate_rate = 0.0;  ///< P(deliver a second copy)
+    double delay_rate = 0.0;      ///< P(hold the link an extra `delay`)
+    sim::SimTime delay = sim::Millis(2);
+    sim::SimTime from = 0;
+    sim::SimTime until = -1;
+    /// Cap on total dropped chunks (keeps bounded-retry tests decisive).
+    uint32_t max_drops = UINT32_MAX;
+
+    bool any() const {
+      return drop_rate > 0.0 || duplicate_rate > 0.0 || delay_rate > 0.0;
+    }
+  };
+  ChunkFaults chunk;
+
+  /// One directed link (sender instance -> receiver instance), partitioned
+  /// and/or degraded over deterministic windows.
+  struct LinkFault {
+    dataflow::InstanceId from = 0;
+    dataflow::InstanceId to = 0;
+    /// Hard partition window [partition_at, heal_at); negative = no
+    /// partition. heal_at must be > partition_at (healing is mandatory —
+    /// this is a recovery suite, not a byzantine one).
+    sim::SimTime partition_at = -1;
+    sim::SimTime heal_at = -1;
+    /// Bandwidth multiplier in (0, 1] over [degrade_from, degrade_until).
+    double bandwidth_factor = 1.0;
+    sim::SimTime degrade_from = -1;
+    sim::SimTime degrade_until = -1;
+  };
+  std::vector<LinkFault> links;
+
+  /// Crash `op`/`subtask` at `at`; recover it `recover_after` later from the
+  /// latest completed checkpoint.
+  struct CrashFault {
+    dataflow::OperatorId op = 0;
+    uint32_t subtask = 0;
+    sim::SimTime at = 0;
+    sim::SimTime recover_after = sim::Millis(50);
+  };
+  std::vector<CrashFault> crashes;
+
+  /// Checkpoint trigger times (the recovery points crashes restore from).
+  /// Requires a CheckpointCoordinator on the graph.
+  std::vector<sim::SimTime> checkpoints;
+
+  bool any() const {
+    return chunk.any() || !links.empty() || !crashes.empty() ||
+           !checkpoints.empty();
+  }
+};
+
+/// \brief Executes a FaultSchedule against a built ExecutionGraph: installs
+/// itself as the simulator's fault plane (chunk/link faults) and schedules
+/// the timed events (partitions, heals, crashes, recoveries, checkpoints).
+/// All counters land in MetricsHub::recovery().
+class FaultInjector : public net::FaultPlane {
+ public:
+  FaultInjector(runtime::ExecutionGraph* graph, FaultSchedule schedule);
+
+  FaultInjector(const FaultInjector&) = delete;
+  FaultInjector& operator=(const FaultInjector&) = delete;
+
+  /// Install on the simulator and schedule every timed fault. Call once,
+  /// before the run starts (all schedule times are absolute).
+  void Arm();
+
+  // ---- net::FaultPlane ----
+  bool AllowTransmit(const net::Channel& channel) override;
+  double BandwidthFactor(const net::Channel& channel) override;
+  net::ChunkFaultDecision OnChunkTransmit(
+      const net::Channel& channel, const dataflow::StreamElement& chunk) override;
+
+ private:
+  void InjectCrash(const FaultSchedule::CrashFault& crash);
+  void RecoverTask(dataflow::InstanceId id);
+  void HealLinks();
+  metrics::RecoveryMetrics& recovery() { return graph_->hub()->recovery(); }
+
+  runtime::ExecutionGraph* graph_;
+  FaultSchedule schedule_;
+  Rng rng_;
+  uint32_t drops_done_ = 0;
+  /// Channels a partition stopped, in first-block order: healing pokes them
+  /// so transmission resumes without a new Push.
+  std::vector<net::Channel*> blocked_channels_;
+  std::set<const net::Channel*> blocked_seen_;
+};
+
+}  // namespace drrs::fault
+
+#endif  // DRRS_FAULT_FAULT_INJECTOR_H_

@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "common/logging.h"
+#include "runtime/checkpoint.h"
 #include "scaling/scale_service.h"
 
 namespace drrs::harness {
@@ -90,6 +91,18 @@ ExperimentResult RunExperiment(const workloads::WorkloadSpec& workload,
   Status st = graph.Build();
   DRRS_CHECK(st.ok()) << st.ToString();
 
+  // Fault machinery: a checkpoint coordinator whenever the schedule needs
+  // recovery points, and the injector itself when any fault is declared.
+  std::optional<runtime::CheckpointCoordinator> checkpoints;
+  if (!config.faults.checkpoints.empty() || !config.faults.crashes.empty()) {
+    checkpoints.emplace(&graph);
+  }
+  std::optional<fault::FaultInjector> injector;
+  if (config.faults.any()) {
+    injector.emplace(&graph, config.faults);
+    injector->Arm();
+  }
+
   // Every mechanism runs behind the same control plane (ScaleService).
   std::optional<scaling::ScaleService> service;
   scaling::ScalingStrategy* strategy = nullptr;
@@ -97,6 +110,8 @@ ExperimentResult RunExperiment(const workloads::WorkloadSpec& workload,
   if (config.system != SystemKind::kNoScale) {
     scaling::ScaleService::Options service_options;
     service_options.mechanism = MechanismFor(config.system);
+    service_options.retry = config.scale_retry;
+    service_options.chunk_retry = config.chunk_retry;
     service.emplace(&graph, service_options);
     strategy = service->Prepare(op);
     DRRS_CHECK(strategy != nullptr) << "workload scaled_op not rescalable";
@@ -179,6 +194,7 @@ ExperimentResult RunExperiment(const workloads::WorkloadSpec& workload,
   result.source_records = hub->source_rate().total();
   result.sink_records = hub->sink_rate().total();
   result.executed_events = sim.executed_events();
+  result.recovery = hub->recovery();
   result.hub = std::move(hub);
   return result;
 }
@@ -194,6 +210,48 @@ void PrintSeries(const std::string& label, const metrics::TimeSeries& series,
 void PrintRateSeries(const std::string& label,
                      const metrics::RateCounter& rc) {
   PrintSeries(label, rc.ToRateSeries(), rc.bucket_width());
+}
+
+void PrintRunSummary(const ExperimentResult& result) {
+  std::printf("# run: %s / %s\n", result.system.c_str(),
+              result.workload.c_str());
+  std::printf("#   records            %llu -> %llu (sink)\n",
+              static_cast<unsigned long long>(result.source_records),
+              static_cast<unsigned long long>(result.sink_records));
+  std::printf("#   latency ms         base %.2f  peak %.2f  avg %.2f\n",
+              result.baseline_latency_ms, result.peak_latency_ms,
+              result.avg_latency_ms);
+  std::printf("#   scaling period     %.2f s (mechanism %.2f s)\n",
+              sim::ToSeconds(result.scaling_period),
+              sim::ToSeconds(result.mechanism_duration));
+  const metrics::RecoveryMetrics& r = result.recovery;
+  if (r.any()) {
+    std::printf(
+        "#   faults             chunks dropped %llu dup %llu delayed %llu\n",
+        static_cast<unsigned long long>(r.chunks_dropped),
+        static_cast<unsigned long long>(r.chunks_duplicated),
+        static_cast<unsigned long long>(r.chunks_delayed));
+    std::printf(
+        "#   recovery           retransmits %llu  dup-suppressed %llu  "
+        "forced-installs %llu\n",
+        static_cast<unsigned long long>(r.chunk_retransmits),
+        static_cast<unsigned long long>(r.duplicate_installs_suppressed),
+        static_cast<unsigned long long>(r.forced_chunk_installs));
+    std::printf(
+        "#   scale-retry        aborts %llu  retries %llu  cancellations "
+        "%llu\n",
+        static_cast<unsigned long long>(r.scale_aborts),
+        static_cast<unsigned long long>(r.scale_retries),
+        static_cast<unsigned long long>(r.scale_cancellations));
+    std::printf(
+        "#   crash/link         crashes %llu  recoveries %llu  replayed "
+        "%llu  partitions %llu healed %llu\n",
+        static_cast<unsigned long long>(r.crashes_injected),
+        static_cast<unsigned long long>(r.crash_recoveries),
+        static_cast<unsigned long long>(r.replayed_elements),
+        static_cast<unsigned long long>(r.links_partitioned),
+        static_cast<unsigned long long>(r.links_healed));
+  }
 }
 
 }  // namespace drrs::harness

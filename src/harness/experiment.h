@@ -5,6 +5,7 @@
 #include <string>
 #include <vector>
 
+#include "fault/fault_injector.h"
 #include "metrics/metrics_hub.h"
 #include "runtime/execution_graph.h"
 #include "scaling/scale_service.h"
@@ -64,6 +65,14 @@ struct ExperimentConfig {
   /// builds — in other builds no hook sites exist and this is a no-op, so
   /// the field is safe to leave on.
   bool audit = true;
+  /// Deterministic fault schedule. All-defaults (`faults.any() == false`)
+  /// arms nothing and keeps the run bit-identical to a fault-free build.
+  /// Schedules with crashes or checkpoints get a CheckpointCoordinator.
+  fault::FaultSchedule faults;
+  /// Per-chunk ack/retransmission for state transfers (off by default).
+  scaling::ChunkRetryPolicy chunk_retry;
+  /// Scale-abort-and-retry watchdog for the control plane (off by default).
+  scaling::ScaleService::Options::RetryPolicy scale_retry;
 };
 
 struct ExperimentResult {
@@ -96,6 +105,9 @@ struct ExperimentResult {
   uint64_t sink_records = 0;
   uint64_t executed_events = 0;
 
+  /// Fault/recovery counters of the run (all zero in fault-free runs).
+  metrics::RecoveryMetrics recovery;
+
   /// Full measurement data for series printing / custom analysis.
   std::unique_ptr<metrics::MetricsHub> hub;
 
@@ -123,6 +135,10 @@ void PrintSeries(const std::string& label, const metrics::TimeSeries& series,
 
 /// Print a throughput series (records/s per 1 s bucket).
 void PrintRateSeries(const std::string& label, const metrics::RateCounter& rc);
+
+/// Print the per-run headline summary: records, latency, scaling duration,
+/// plus the retry/recovery counters whenever any fault machinery fired.
+void PrintRunSummary(const ExperimentResult& result);
 
 }  // namespace drrs::harness
 

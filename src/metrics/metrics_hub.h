@@ -127,6 +127,36 @@ class InvariantMonitor {
   std::unordered_map<SeqKey, uint64_t, SeqKeyHash> last_seq_;
 };
 
+/// \brief Retry/recovery counters bumped by the fault-tolerance machinery:
+/// chunk retransmission (StateTransfer), scale abort-and-retry (ScaleService)
+/// and task crash/recovery (FaultInjector + Task). All zero in fault-free
+/// runs; surfaced in the harness per-run summary.
+struct RecoveryMetrics {
+  uint64_t chunk_retransmits = 0;           ///< ack-timeout re-sends
+  uint64_t chunks_dropped = 0;              ///< injected wire drops
+  uint64_t chunks_duplicated = 0;           ///< injected duplicate deliveries
+  uint64_t chunks_delayed = 0;              ///< injected chunk delays
+  uint64_t duplicate_installs_suppressed = 0;
+  uint64_t forced_chunk_installs = 0;       ///< abort roll-forward installs
+  uint64_t scale_aborts = 0;                ///< deadline-triggered aborts
+  uint64_t scale_retries = 0;               ///< re-admissions after abort
+  uint64_t scale_cancellations = 0;         ///< attempt budget exhausted
+  uint64_t crashes_injected = 0;
+  uint64_t crash_recoveries = 0;
+  uint64_t replayed_elements = 0;           ///< in-flight records replayed
+  uint64_t links_partitioned = 0;
+  uint64_t links_healed = 0;
+
+  bool any() const {
+    return chunk_retransmits + chunks_dropped + chunks_duplicated +
+               chunks_delayed + duplicate_installs_suppressed +
+               forced_chunk_installs + scale_aborts + scale_retries +
+               scale_cancellations + crashes_injected + crash_recoveries +
+               replayed_elements + links_partitioned + links_healed >
+           0;
+  }
+};
+
 /// \brief Central sink for all measurements of one simulated run.
 class MetricsHub {
  public:
@@ -160,6 +190,8 @@ class MetricsHub {
   const ScalingMetrics& scaling() const { return scaling_; }
   InvariantMonitor& invariants() { return invariants_; }
   const InvariantMonitor& invariants() const { return invariants_; }
+  RecoveryMetrics& recovery() { return recovery_; }
+  const RecoveryMetrics& recovery() const { return recovery_; }
 
  private:
   TimeSeries latency_;
@@ -168,6 +200,7 @@ class MetricsHub {
   RateCounter sink_rate_;
   ScalingMetrics scaling_;
   InvariantMonitor invariants_;
+  RecoveryMetrics recovery_;
 };
 
 /// Detects the end of the scaling period per the paper's rule: the first

@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "common/logging.h"
+#include "net/fault_plane.h"
 #include "verify/audit_hooks.h"
 
 namespace drrs::net {
@@ -133,18 +134,49 @@ void Channel::NotifyInputConsumed() {
 }
 
 void Channel::TryTransmit() {
+  FaultPlane* faults = sim_->fault_plane();
   bool sent = false;
   while (!output_queue_.empty() &&
          wire_.size() + input_queue_.size() < config_.input_buffer_capacity) {
+    if (faults != nullptr && !faults->AllowTransmit(*this)) break;
     StreamElement e = std::move(output_queue_.front());
     output_queue_.pop_front();
     sent = true;
     DRRS_AUDIT_CALL(sim_->auditor(), OnElementTransmitted(e));
+    double bandwidth = config_.bandwidth_bytes_per_us;
+    sim::SimTime extra_delay = 0;
+    bool duplicate = false;
+    if (faults != nullptr) {
+      bandwidth *= faults->BandwidthFactor(*this);
+      if (e.kind == dataflow::ElementKind::kStateChunk) {
+        ChunkFaultDecision verdict = faults->OnChunkTransmit(*this, e);
+        if (verdict.drop) {
+          // Lost on the wire: the serializer still spent the time, the
+          // receiver never sees it. Recovery is the sender's ack timeout.
+          sim::SimTime lost_depart = std::max(sim_->now(), link_free_at_);
+          link_free_at_ =
+              lost_depart + static_cast<sim::SimTime>(
+                                static_cast<double>(e.WireBytes()) / bandwidth);
+          DRRS_AUDIT_CALL(sim_->auditor(), OnChunkWireDropped(e));
+          continue;
+        }
+        extra_delay = verdict.extra_delay;
+        duplicate = verdict.duplicate;
+      }
+    }
     sim::SimTime depart = std::max(sim_->now(), link_free_at_);
     auto transfer = static_cast<sim::SimTime>(
-        static_cast<double>(e.WireBytes()) / config_.bandwidth_bytes_per_us);
-    link_free_at_ = depart + transfer;
+        static_cast<double>(e.WireBytes()) / bandwidth);
+    link_free_at_ = depart + transfer + extra_delay;
     sim::SimTime arrival = link_free_at_ + config_.base_latency;
+    // A duplicated chunk consumes one extra credit; skip the copy when the
+    // window cannot admit it (the injector only best-effort duplicates).
+    if (duplicate &&
+        wire_.size() + input_queue_.size() + 1 < config_.input_buffer_capacity) {
+      StreamElement copy = e;
+      copy.audit_id = 0;  // untracked by conservation: same logical element
+      wire_.push_back(WireEntry{arrival, std::move(copy)});
+    }
     wire_.push_back(WireEntry{arrival, std::move(e)});
   }
   if (sent) {

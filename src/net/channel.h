@@ -151,6 +151,14 @@ class Channel {
 
   size_t input_queue_size() const { return input_queue_.size(); }
 
+  /// Re-attempt transmission after an external gate lifted (e.g. the fault
+  /// plane healed a link partition). No-op when nothing can move.
+  void PokeTransmit() { TryTransmit(); }
+
+  /// When the serializer frees up (>= now while transmissions are queued on
+  /// the wire). Retry timers use it to size ack timeouts to the backlog.
+  sim::SimTime link_free_at() const { return link_free_at_; }
+
   // ---- stats ----
   uint64_t delivered_elements() const { return delivered_elements_; }
   uint64_t delivered_bytes() const { return delivered_bytes_; }

@@ -1,0 +1,44 @@
+#ifndef DRRS_NET_FAULT_PLANE_H_
+#define DRRS_NET_FAULT_PLANE_H_
+
+#include "dataflow/stream_element.h"
+#include "sim/sim_time.h"
+
+namespace drrs::net {
+
+class Channel;
+
+/// Per-chunk fault verdict returned by the fault plane when a state chunk is
+/// about to leave a channel's output cache.
+struct ChunkFaultDecision {
+  bool drop = false;            ///< Lose the chunk on the wire.
+  bool duplicate = false;       ///< Deliver a second copy (same arrival).
+  sim::SimTime extra_delay = 0; ///< Added serialization delay (holds the link).
+};
+
+/// \brief Link- and chunk-level fault model consulted by Channel::TryTransmit.
+///
+/// Null by default on the Simulator: the fault-free path takes a single
+/// pointer test and is bit-identical to builds that never heard of faults.
+/// Implemented by fault::FaultInjector; kept in net/ so the channel layer
+/// does not depend on the fault subsystem.
+class FaultPlane {
+ public:
+  virtual ~FaultPlane() = default;
+
+  /// False while the link carrying `channel` is partitioned. The channel
+  /// stops transmitting; the injector must PokeTransmit() it on heal.
+  virtual bool AllowTransmit(const Channel& channel) = 0;
+
+  /// Bandwidth multiplier in (0, 1] while the link is degraded, 1.0 normally.
+  virtual double BandwidthFactor(const Channel& channel) = 0;
+
+  /// Fault verdict for one state chunk about to be transmitted. Called only
+  /// for ElementKind::kStateChunk.
+  virtual ChunkFaultDecision OnChunkTransmit(
+      const Channel& channel, const dataflow::StreamElement& chunk) = 0;
+};
+
+}  // namespace drrs::net
+
+#endif  // DRRS_NET_FAULT_PLANE_H_

@@ -159,6 +159,44 @@ void Task::Unfreeze() {
   MaybeSchedule();
 }
 
+void Task::Crash() {
+  DRRS_CHECK(!crashed_) << "task " << id_ << " crashed twice";
+  crashed_ = true;
+  ExitStall();
+  // Abandon an in-progress barrier alignment: the blocked channels must not
+  // stay blocked across the restart (the coordinator's checkpoint simply
+  // never completes).
+  for (net::Channel* ch : ckpt_received_) blocked_channels_.erase(ch);
+  ckpt_active_ = false;
+  ckpt_received_.clear();
+  // Volatile state is gone; key-group ownership (the routing role) is not.
+  if (state_ != nullptr) state_->DropAllCells();
+}
+
+uint64_t Task::Recover(const std::vector<state::KeyGroupState>& snapshot) {
+  DRRS_CHECK(crashed_) << "task " << id_ << " recovered without a crash";
+  crashed_ = false;
+  if (state_ != nullptr) {
+    for (const state::KeyGroupState& kg : snapshot) {
+      // A key-group migrated away since the snapshot belongs to its new
+      // owner; installing it here would fork the state.
+      if (!state_->OwnsKeyGroup(kg.key_group)) continue;
+      state_->InstallKeyGroup(kg);  // deep copy: snapshot stays reusable
+    }
+  }
+  // Everything the network delivered while we were down is replayed by the
+  // regular processing loop; count it for the recovery metrics.
+  uint64_t replayed = 0;
+  for (net::Channel* ch : input_channels_) {
+    for (const StreamElement& e : ch->input_queue()) {
+      if (e.kind == ElementKind::kRecord) ++replayed;
+    }
+  }
+  suspend_memo_ = false;
+  MaybeSchedule();
+  return replayed;
+}
+
 sim::SimTime Task::now() const { return sim_->now(); }
 
 void Task::OnElementAvailable(net::Channel* channel) {
@@ -194,7 +232,7 @@ void Task::ConsumeProcessingTime(sim::SimTime d) {
 }
 
 void Task::MaybeSchedule() {
-  if (run_scheduled_ || frozen_) return;
+  if (run_scheduled_ || frozen_ || crashed_) return;
   run_scheduled_ = true;
   sim::SimTime at = std::max(sim_->now(), busy_until_);
   sim_->ScheduleAt(at, [this]() {
@@ -241,7 +279,7 @@ void Task::ExitStall() {
 }
 
 void Task::RunOnce() {
-  if (frozen_) return;
+  if (frozen_ || crashed_) return;
   if (AnyOutputCongested()) {
     EnterStall(metrics::StallReason::kBackpressure);
     return;  // decongest listener re-arms us

@@ -118,6 +118,20 @@ class Task : public net::ChannelReceiver, public dataflow::OperatorContext {
   void Unfreeze();
   bool frozen() const { return frozen_; }
 
+  // ---- fault injection (src/fault) ----
+  /// Simulated process crash: all volatile keyed state is wiped (ownership
+  /// and routing survive — the "pod" is rescheduled in place), any
+  /// checkpoint alignment in progress is abandoned, and the processing loop
+  /// stops until Recover(). Channels and their queued elements persist: the
+  /// network holds in-flight elements for the restarted instance.
+  void Crash();
+  /// Restore keyed state from a checkpoint snapshot (only key-groups this
+  /// instance still owns are installed) and resume processing. Returns the
+  /// number of in-flight data records waiting in the input caches — these
+  /// are replayed against the restored state by the normal processing loop.
+  uint64_t Recover(const std::vector<state::KeyGroupState>& snapshot);
+  bool crashed() const { return crashed_; }
+
   // ---- OperatorContext ----
   void Emit(const dataflow::StreamElement& record) override;
   state::KeyedStateBackend* state() override { return state_.get(); }
@@ -202,6 +216,7 @@ class Task : public net::ChannelReceiver, public dataflow::OperatorContext {
   void ForwardMarker(const dataflow::StreamElement& marker);
 
   bool frozen_ = false;
+  bool crashed_ = false;
   sim::SimTime busy_until_ = 0;
 
  private:

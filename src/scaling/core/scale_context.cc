@@ -31,6 +31,21 @@ void ScaleContext::CloseSubscale(dataflow::SubscaleId id) {
   open_subscales_.erase(id);
 }
 
+size_t ScaleContext::ForceCompleteTransfers() {
+  if (!session_.valid()) return 0;
+  return transfer_.ForceComplete(session_.scale(), graph_, hub_);
+}
+
+bool ScaleContext::AbortActiveScale() {
+  if (!active_) return false;
+  // Close subscales on a copy: CloseSubscale mutates open_subscales_.
+  std::set<dataflow::SubscaleId> open = open_subscales_;
+  for (dataflow::SubscaleId id : open) CloseSubscale(id);
+  rails_.ReleaseAll();
+  EndScale();
+  return true;
+}
+
 void ScaleContext::EndScale() {
   bool enforce = true;
 #if DRRS_AUDIT

@@ -48,6 +48,18 @@ class ScaleContext {
   /// wake the tasks), close subscale tracking and fire the idle callback.
   void EndScale();
 
+  /// Abort roll-forward helper: install every chunk of the current scale
+  /// that is still in the transfer registry directly at its planned
+  /// receiver (see StateTransfer::ForceComplete). Returns install count.
+  size_t ForceCompleteTransfers();
+
+  /// Tear down an active scale after a strategy abandoned its protocol:
+  /// close any still-open subscales, release all rails and run the normal
+  /// EndScale (hook detachment, metrics, idle callback). The caller must
+  /// have already quiesced its migration machinery and force-completed or
+  /// aborted its transfers. Returns false when no scale was active.
+  bool AbortActiveScale();
+
   // -- subscale lifecycle (Section III-C / IV-A concurrency control) --
   void OpenSubscale(dataflow::SubscaleId id);
   void CloseSubscale(dataflow::SubscaleId id);

@@ -1,8 +1,10 @@
 #include "scaling/core/state_transfer.h"
 
+#include <algorithm>
 #include <utility>
 
 #include "common/logging.h"
+#include "runtime/execution_graph.h"
 #include "verify/audit_hooks.h"
 
 namespace drrs::scaling {
@@ -20,13 +22,19 @@ uint64_t StateTransfer::Enqueue(runtime::Task* from, net::Channel* rail,
                                 const StreamElement& proto, bool priority) {
   uint64_t bytes = state.TotalBytes() + kChunkEnvelopeBytes;
   uint64_t id = next_id_++;
-  in_transit_[id] = Transit{std::move(state), whole, proto.scale_id};
   sim_ = from->simulator();
   StreamElement chunk = proto;
   chunk.kind = ElementKind::kStateChunk;
   chunk.from_instance = from->id();
   chunk.seq = id;
   chunk.chunk_bytes = bytes;
+  Transit& transit = in_transit_[id];
+  transit.state = std::move(state);
+  transit.whole_group = whole;
+  transit.scale = proto.scale_id;
+  transit.chunk = chunk;
+  transit.rail = rail;
+  transit.to = rail->receiver_id();
   DRRS_AUDIT_CALL(sim_->auditor(),
                   OnChunkEnqueued(chunk, from->id(), rail->receiver_id()));
   if (priority) {
@@ -34,7 +42,61 @@ uint64_t StateTransfer::Enqueue(runtime::Task* from, net::Channel* rail,
   } else {
     rail->Push(std::move(chunk));
   }
+  // Armed only in reliability mode: fault-free runs keep an unchanged event
+  // schedule (bit-identical traces to pre-fault builds).
+  if (policy_.enabled) ArmAckTimer(id);
   return bytes;
+}
+
+void StateTransfer::EnableReliability(const ChunkRetryPolicy& policy,
+                                      metrics::MetricsHub* hub) {
+  policy_ = policy;
+  policy_.enabled = true;
+  hub_ = hub;
+}
+
+void StateTransfer::ArmAckTimer(uint64_t id) {
+  auto it = in_transit_.find(id);
+  if (it == in_transit_.end()) return;
+  const Transit& transit = it->second;
+  sim::SimTime backoff = std::min(
+      policy_.ack_timeout_base << std::min<uint32_t>(transit.attempts, 31),
+      policy_.ack_timeout_max);
+  // Size-proportional slack covers the chunk's own wire time plus the
+  // rail's current backlog (serializer busy time and any credit-blocked
+  // queue): a migration several chunks deep legitimately delays the
+  // implicit ack, and timing out on queueing delay would retransmit chunks
+  // that were never lost.
+  uint64_t pending_bytes = transit.chunk.chunk_bytes;
+  for (const dataflow::StreamElement& e : transit.rail->output_queue()) {
+    pending_bytes += e.chunk_bytes;
+  }
+  sim::SimTime busy = std::max<sim::SimTime>(
+      0, transit.rail->link_free_at() - sim_->now());
+  auto wire_slack =
+      busy + static_cast<sim::SimTime>(static_cast<double>(pending_bytes) /
+                                       policy_.timeout_bytes_per_us);
+  sim_->ScheduleAfter(backoff + wire_slack, [this, id] { OnAckTimeout(id); });
+}
+
+void StateTransfer::OnAckTimeout(uint64_t id) {
+  auto it = in_transit_.find(id);
+  if (it == in_transit_.end()) return;  // installed or aborted: implicit ack
+  Transit& transit = it->second;
+  if (transit.attempts >= policy_.max_attempts) {
+    DRRS_LOG(Error) << "state transfer " << id << " (key-group "
+                    << transit.chunk.key_group << ", scale " << transit.scale
+                    << ") gave up after " << transit.attempts
+                    << " retransmission(s)";
+    return;  // surfaces as a transfer leak / scale-abort target
+  }
+  ++transit.attempts;
+  if (hub_ != nullptr) ++hub_->recovery().chunk_retransmits;
+  DRRS_AUDIT_CALL(sim_->auditor(), OnChunkRetransmitted(id));
+  // Priority re-send: the retransmission must not queue behind a backlog
+  // that already overtook the lost chunk once.
+  transit.rail->PushPriority(transit.chunk);
+  ArmAckTimer(id);
 }
 
 uint64_t StateTransfer::SendKeyGroup(runtime::Task* from, net::Channel* rail,
@@ -74,10 +136,19 @@ bool StateTransfer::Install(runtime::Task* to, const StreamElement& chunk) {
   DRRS_CHECK(chunk.kind == ElementKind::kStateChunk);
   auto it = in_transit_.find(chunk.seq);
   if (it == in_transit_.end()) {
-    // A chunk whose scale was aborted mid-flight is dropped, once.
-    auto aborted = aborted_.find(chunk.seq);
-    if (aborted != aborted_.end()) {
-      aborted_.erase(aborted);
+    // A chunk whose scale was aborted mid-flight is dropped on arrival —
+    // persistently, since a retransmission can surface the same id again.
+    if (aborted_.count(chunk.seq) > 0) {
+      DRRS_AUDIT_CALL(to->simulator()->auditor(),
+                      OnChunkDroppedAborted(chunk));
+      return false;
+    }
+    // Reliability mode: an already-installed id is a duplicated delivery or
+    // a late retransmission — suppressed idempotently.
+    if (policy_.enabled && installed_.count(chunk.seq) > 0) {
+      if (hub_ != nullptr) ++hub_->recovery().duplicate_installs_suppressed;
+      DRRS_AUDIT_CALL(to->simulator()->auditor(),
+                      OnChunkDuplicateSuppressed(chunk));
       return false;
     }
 #if DRRS_AUDIT
@@ -103,8 +174,45 @@ bool StateTransfer::Install(runtime::Task* to, const StreamElement& chunk) {
       *to->state()->GetOrCreate(chunk.key_group, key) = std::move(cell);
     }
   }
+  if (policy_.enabled) installed_.insert(chunk.seq);
   DRRS_AUDIT_CALL(to->simulator()->auditor(), OnChunkInstalled(chunk, to->id()));
   return true;
+}
+
+size_t StateTransfer::ForceComplete(dataflow::ScaleId scale,
+                                    runtime::ExecutionGraph* graph,
+                                    metrics::MetricsHub* hub) {
+  size_t installed = 0;
+  for (auto it = in_transit_.begin(); it != in_transit_.end();) {
+    if (it->second.scale != scale) {
+      ++it;
+      continue;
+    }
+    Transit transit = std::move(it->second);
+    uint64_t id = it->first;
+    it = in_transit_.erase(it);
+    runtime::Task* to = graph->task(transit.to);
+    DRRS_CHECK(to != nullptr && to->state() != nullptr);
+    transit.state.key_group = transit.chunk.key_group;
+    if (transit.whole_group) {
+      to->state()->InstallKeyGroup(std::move(transit.state));
+    } else {
+      for (auto& [key, cell] : transit.state.cells) {
+        *to->state()->GetOrCreate(transit.chunk.key_group, key) =
+            std::move(cell);
+      }
+    }
+    // The chunk element (original or retransmitted copy) may still float on
+    // the wire; remember the id so arrival drops it instead of double-
+    // installing.
+    aborted_.insert(id);
+    ++installed;
+    if (hub != nullptr) ++hub->recovery().forced_chunk_installs;
+    DRRS_AUDIT_CALL(sim_ != nullptr ? sim_->auditor() : nullptr,
+                    OnChunkForceInstalled(id, transit.to));
+    to->WakeUp();
+  }
+  return installed;
 }
 
 void StateTransfer::AbortScale(dataflow::ScaleId scale) {

@@ -10,7 +10,28 @@
 #include "runtime/task.h"
 #include "state/keyed_state.h"
 
+namespace drrs::runtime {
+class ExecutionGraph;
+}  // namespace drrs::runtime
+
 namespace drrs::scaling {
+
+/// Per-chunk ack/retransmission policy (off by default: fault-free runs pay
+/// zero extra events). Acks are modeled as zero-cost control-plane feedback:
+/// the shared in-transit registry *is* the ack channel — an entry still
+/// present when the timeout fires means the chunk was never installed.
+struct ChunkRetryPolicy {
+  bool enabled = false;
+  /// Base ack timeout; doubled per attempt up to `ack_timeout_max`.
+  sim::SimTime ack_timeout_base = sim::Millis(20);
+  sim::SimTime ack_timeout_max = sim::Millis(320);
+  /// Size-proportional slack: big chunks legitimately occupy the wire
+  /// longer. The default matches the modeled Gigabit link (125 bytes/µs).
+  double timeout_bytes_per_us = 125.0;
+  /// Retransmissions per chunk before giving up (the chunk then surfaces as
+  /// a transfer leak in the audit / scale-abort machinery).
+  uint32_t max_attempts = 10;
+};
 
 /// \brief Moves keyed state between instances as sized chunk elements over
 /// scaling-path channels. The serialized cells travel out-of-band in an
@@ -47,6 +68,21 @@ class StateTransfer {
   /// migrations from live ownership, so orphaned chunks must not install.
   void AbortScale(dataflow::ScaleId scale);
 
+  /// Abort roll-forward: install every in-transit entry of `scale` directly
+  /// at its planned receiver, bypassing the wire (the registry still holds
+  /// the extracted cells, so nothing is lost even if the chunk element was
+  /// dropped). The consumed ids are remembered as aborted so floating chunk
+  /// elements are ignored on arrival. Returns the number of installs.
+  size_t ForceComplete(dataflow::ScaleId scale, runtime::ExecutionGraph* graph,
+                       metrics::MetricsHub* hub);
+
+  /// Turn on per-chunk ack timeouts + retransmission and receiver-side
+  /// duplicate-install suppression. `hub` (optional) receives the
+  /// chunk_retransmits / duplicate_installs_suppressed counters.
+  void EnableReliability(const ChunkRetryPolicy& policy,
+                         metrics::MetricsHub* hub);
+  const ChunkRetryPolicy& retry_policy() const { return policy_; }
+
   size_t in_transit_count() const { return in_transit_.size(); }
   /// Entries belonging to one scaling operation (leak check granularity).
   size_t in_transit_count(dataflow::ScaleId scale) const;
@@ -55,12 +91,20 @@ class StateTransfer {
   uint64_t Enqueue(runtime::Task* from, net::Channel* rail,
                    state::KeyGroupState state, bool whole,
                    const dataflow::StreamElement& proto, bool priority);
+  void ArmAckTimer(uint64_t id);
+  void OnAckTimeout(uint64_t id);
 
   uint64_t next_id_ = 1;
   struct Transit {
     state::KeyGroupState state;
     bool whole_group = false;
     dataflow::ScaleId scale = 0;
+    /// Retransmission context (only populated fields cost anything; the
+    /// element copy enables byte-identical re-sends).
+    dataflow::StreamElement chunk;
+    net::Channel* rail = nullptr;
+    dataflow::InstanceId to = 0;
+    uint32_t attempts = 0;
   };
   /// Ordered map: AbortScale and the per-scale count iterate it, and a
   /// decision path must not depend on hash-bucket order.
@@ -68,9 +112,15 @@ class StateTransfer {
   /// Simulator of the graph the chunks travel in, captured at first Enqueue
   /// (audit-hook access for AbortScale, which has no task handle).
   sim::Simulator* sim_ = nullptr;
-  /// Transfer ids dropped by AbortScale whose chunk element is still on the
-  /// wire; Install consumes and ignores them.
+  /// Transfer ids dropped by AbortScale (or consumed by ForceComplete)
+  /// whose chunk element may still be on the wire; Install drops them on
+  /// arrival, persistently — retransmissions can surface the same id twice.
   std::set<uint64_t> aborted_;
+  /// Successfully installed ids (reliability mode only): the receiver-side
+  /// idempotence filter for duplicated deliveries and late retransmissions.
+  std::set<uint64_t> installed_;
+  ChunkRetryPolicy policy_;
+  metrics::MetricsHub* hub_ = nullptr;
 };
 
 /// \brief View of a StateTransfer bound to one scaling operation: the

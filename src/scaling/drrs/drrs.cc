@@ -213,6 +213,7 @@ Status DrrsStrategy::StartScale(const ScalePlan& plan) {
   runtime::CheckpointCoordinator* ckpt = graph_->checkpoint_coordinator();
   if (ckpt != nullptr && ckpt->AnyIncomplete()) {
     core_.MarkActive();
+    begin_deferred_ = true;
     ScalePlan deferred = plan;
     WaitForCheckpointThenBegin(deferred);
     return Status::OK();
@@ -222,6 +223,7 @@ Status DrrsStrategy::StartScale(const ScalePlan& plan) {
 }
 
 void DrrsStrategy::WaitForCheckpointThenBegin(const ScalePlan& plan) {
+  if (!begin_deferred_) return;  // withdrawn by a cancel while waiting
   runtime::CheckpointCoordinator* ckpt = graph_->checkpoint_coordinator();
   if (ckpt != nullptr && ckpt->AnyIncomplete()) {
     ScalePlan deferred = plan;
@@ -236,6 +238,7 @@ void DrrsStrategy::WaitForCheckpointThenBegin(const ScalePlan& plan) {
 }
 
 void DrrsStrategy::BeginPlan(const ScalePlan& plan) {
+  begin_deferred_ = false;
   plan_ = plan;
   core_.BeginScale();
   EnsureInstances(plan_);
@@ -456,11 +459,15 @@ void DrrsStrategy::OnRailElement(Task* dst, const StreamElement& e) {
   IncomingSubscale& in = it->second;
   switch (e.kind) {
     case ElementKind::kStateChunk:
-      core_.session().Install(dst, e);
-      dst->ConsumeProcessingTime(static_cast<sim::SimTime>(
-          e.chunk_bytes / graph_->config().state_serialize_bytes_per_us));
-      in.pending_key_groups.erase(e.key_group);
-      dst->WakeUp();
+      // A false return is a dropped chunk (aborted scale still draining, or
+      // a suppressed duplicate delivery): it must not advance this
+      // subscale's bookkeeping.
+      if (core_.session().Install(dst, e)) {
+        dst->ConsumeProcessingTime(static_cast<sim::SimTime>(
+            e.chunk_bytes / graph_->config().state_serialize_bytes_per_us));
+        in.pending_key_groups.erase(e.key_group);
+        dst->WakeUp();
+      }
       break;
     case ElementKind::kConfirmBarrier:
       in.confirmed.insert(e.from_instance);
@@ -554,6 +561,154 @@ void DrrsStrategy::FinishScale() {
         std::max(recomputed.new_parallelism, next.new_parallelism);
     BeginPlan(recomputed);
   }
+}
+
+// ---- scale-abort (roll-forward) -------------------------------------------
+
+void DrrsStrategy::QuiesceScale() {
+  has_pending_plan_ = false;
+  if (begin_deferred_) {
+    // Admitted but never begun: withdrawing the deferred begin is the whole
+    // quiesce; plan_ still holds the *previous* operation's plan.
+    begin_deferred_ = false;
+    return;
+  }
+  if (subscales_.empty()) return;
+  // Register never-launched subscales at their destinations so records
+  // arriving after the routing flip below wait for the teleported state
+  // (HandleIsProcessable gates on pending_key_groups). complete_marker stays
+  // false: these can only be finalized by AbandonScale's wholesale clear.
+  for (size_t idx : queue_) {
+    const Subscale& s = subscales_[idx];
+    Task* dst = graph_->instance(plan_.op, s.to);
+    InstanceCtx& dc = CtxOf(dst);
+    IncomingSubscale in;
+    in.subscale = &subscales_[idx];
+    in.pending_key_groups.insert(s.key_groups.begin(), s.key_groups.end());
+    dc.incoming[s.id] = std::move(in);
+    for (dataflow::KeyGroupId kg : s.key_groups) dc.kg_in[kg] = s.id;
+  }
+  queue_.clear();
+  // Roll forward: every record produced from now on goes straight to its
+  // planned owner; E_p records already re-routed ride the rails during the
+  // grace window.
+  core_.injector().UpdateRoutingAtPredecessors(plan_.op, plan_.migrations);
+  for (auto& [inst_id, c] : ctx_) {
+    Task* t = graph_->task(inst_id);
+    for (auto& [sid, out] : c.outgoing) {
+      if (!out.reroute_buffer.empty()) FlushReroutes(t, sid);
+    }
+  }
+}
+
+void DrrsStrategy::AbandonScale() {
+  if (subscales_.empty()) return;
+  const auto& key_space = graph_->key_space();
+  std::map<dataflow::KeyGroupId, uint32_t> moved;  // kg -> planned subtask
+  for (const Migration& m : plan_.migrations) {
+    if (m.from != m.to) moved[m.key_group] = m.to;
+  }
+
+  // Source-side protocol leftovers: flush re-route buffers onto the rails
+  // and lift coupled-mode channel blocks.
+  for (auto& [inst_id, c] : ctx_) {
+    Task* t = graph_->task(inst_id);
+    for (auto& [sid, out] : c.outgoing) {
+      FlushReroutes(t, sid);
+      for (net::Channel* ch : out.blocked) t->UnblockChannel(ch);
+      out.blocked.clear();
+    }
+  }
+
+  // Units the protocol never extracted (queued subscales, unfinished
+  // to_send queues): move them to the planned owner directly. Units already
+  // on the wire were force-completed by the caller.
+  for (const Migration& m : plan_.migrations) {
+    if (m.from == m.to) continue;
+    Task* src = graph_->instance(plan_.op, m.from);
+    Task* dst = graph_->instance(plan_.op, m.to);
+    if (src->state() != nullptr && src->state()->OwnsKeyGroup(m.key_group)) {
+      dst->state()->InstallKeyGroup(src->state()->ExtractKeyGroup(m.key_group));
+      dst->WakeUp();
+    }
+  }
+
+  // Pre-flip records of migrated key-groups parked in old-owner input
+  // queues replay at the new owner over the rails, in FIFO order (the
+  // StopRestart splice). Rail heads are eager, so they process ahead of the
+  // post-flip records waiting in the new owner's regular channels.
+  for (Task* inst : graph_->instances_of(plan_.op)) {
+    for (net::Channel* ch : inst->input_channels()) {
+      if (ch->scaling_path()) continue;
+      auto* queue = ch->mutable_input_queue();
+      std::deque<StreamElement> kept;
+      size_t extracted = 0;
+      for (StreamElement& e : *queue) {
+        uint32_t owner = 0;
+        bool is_moved =
+            e.kind == ElementKind::kRecord &&
+            [&] {
+              auto it = moved.find(key_space.KeyGroupOf(e.key));
+              if (it == moved.end()) return false;
+              owner = it->second;
+              return true;
+            }() &&
+            graph_->instance(plan_.op, owner) != inst;
+        if (is_moved) {
+          Task* to = graph_->instance(plan_.op, owner);
+          StreamElement r = std::move(e);
+          r.rerouted = true;
+          core_.rails()
+              .Open(inst, to, /*seed_watermark=*/false)
+              ->mutable_input_queue()
+              ->push_back(std::move(r));
+          ++extracted;
+          to->WakeUp();
+        } else {
+          kept.push_back(std::move(e));
+        }
+      }
+      *queue = std::move(kept);
+      for (size_t i = 0; i < extracted; ++i) ch->NotifyInputConsumed();
+    }
+  }
+
+  // Pre-flip records still cached at the predecessors follow the same rail
+  // path (appending them to the new owner's regular channel would order
+  // them behind post-flip records already queued there).
+  for (Task* pred : graph_->PredecessorTasksOf(plan_.op)) {
+    runtime::OutputEdge* edge = graph_->FindEdgeTo(pred, plan_.op);
+    if (edge == nullptr) continue;
+    for (uint32_t s = 0; s < edge->channels.size(); ++s) {
+      net::Channel* ch = edge->channels[s];
+      auto cached = ch->ExtractFromOutput([&](const StreamElement& e) {
+        if (e.kind != ElementKind::kRecord) return false;
+        auto it = moved.find(key_space.KeyGroupOf(e.key));
+        return it != moved.end() && it->second != s;
+      });
+      if (cached.empty()) continue;
+      Task* old_owner = graph_->instance(plan_.op, s);
+      for (StreamElement& e : cached) {
+        Task* to =
+            graph_->instance(plan_.op, moved.at(key_space.KeyGroupOf(e.key)));
+        StreamElement r = std::move(e);
+        r.rerouted = true;
+        core_.rails()
+            .Open(old_owner, to, /*seed_watermark=*/false)
+            ->mutable_input_queue()
+            ->push_back(std::move(r));
+        to->WakeUp();
+      }
+    }
+  }
+
+  // Drop all per-operation protocol state; ScaleContext::AbortActiveScale
+  // (the caller) closes subscales, releases rails and detaches the hooks.
+  for (Task* t : graph_->instances_of(plan_.op)) t->ResetInputHandler();
+  ctx_.clear();
+  subscales_.clear();
+  subscale_index_.clear();
+  queue_.clear();
 }
 
 // ---- hook dispatch ---------------------------------------------------------

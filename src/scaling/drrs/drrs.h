@@ -90,6 +90,8 @@ class DrrsStrategy : public ScalingStrategy {
 
   bool supports_supersession() const override { return true; }
 
+  bool SupportsCancel() const override { return true; }
+
   const DrrsOptions& options() const { return options_; }
 
   /// Subscales not yet finished (test/diagnostic).
@@ -132,6 +134,8 @@ class DrrsStrategy : public ScalingStrategy {
   };
 
   // ---- lifecycle ----
+  void QuiesceScale() override;
+  void AbandonScale() override;
   void WaitForCheckpointThenBegin(const ScalePlan& plan);
   void BeginPlan(const ScalePlan& plan);
   void TryLaunch();
@@ -181,6 +185,9 @@ class DrrsStrategy : public ScalingStrategy {
   std::unique_ptr<runtime::TaskHook> hook_;
   bool has_pending_plan_ = false;
   ScalePlan pending_plan_;
+  /// Admitted but deferred behind an in-flight checkpoint (Section IV-C);
+  /// a cancel during this window simply withdraws the deferred begin.
+  bool begin_deferred_ = false;
 };
 
 }  // namespace drrs::scaling

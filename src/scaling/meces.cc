@@ -212,7 +212,12 @@ bool MecesStrategy::HandleControl(Task* task, net::Channel* /*channel*/,
                                   const StreamElement& e) {
   switch (e.kind) {
     case ElementKind::kStateChunk: {
-      core_.session().Install(task, e);
+      // A suppressed duplicate (or a chunk of an aborted scale) must not
+      // touch the unit bookkeeping: the unit may have moved on since.
+      if (!core_.session().Install(task, e)) {
+        task->WakeUp();
+        return true;
+      }
       task->ConsumeProcessingTime(static_cast<sim::SimTime>(
           e.chunk_bytes / graph_->config().state_serialize_bytes_per_us));
       auto it = units_.find({e.key_group, e.sub_key_group});

@@ -140,16 +140,27 @@ bool OtfsStrategy::HandleControl(Task* task, net::Channel* channel,
       return true;
     }
     case ElementKind::kStateChunk: {
-      core_.session().Install(task, e);
+      // Duplicated deliveries and chunks of an aborted scale are dropped by
+      // the session; only a real install advances the migration.
+      if (!core_.session().Install(task, e)) {
+        task->WakeUp();
+        return true;
+      }
       task->ConsumeProcessingTime(static_cast<sim::SimTime>(
           e.chunk_bytes / graph_->config().state_serialize_bytes_per_us));
       DstCtx& d = dst_[task->id()];
-      if (mode_ == MigrationMode::kAllAtOnce) {
+      if (mode_ == MigrationMode::kAllAtOnce &&
+          d.open_paths.count(e.from_instance) > 0) {
         // Batch semantics: installed but unusable until the path completes.
+        // A retransmission landing after its path already closed skips the
+        // gate — the batch was released and nothing would clear it again.
         d.unreleased.insert(e.key_group);
       }
       d.pending.erase(e.key_group);
       task->WakeUp();
+      // A retransmitted chunk can be the last thing the scale was waiting
+      // for: the path markers are long delivered by then.
+      MaybeFinish();
       return true;
     }
     case ElementKind::kScaleComplete: {
@@ -237,6 +248,9 @@ bool OtfsStrategy::HandleIsProcessable(Task* task, net::Channel* channel,
 void OtfsStrategy::MaybeFinish() {
   if (done()) return;
   if (open_path_count_ > 0 || aligned_count_ < align_needed_) return;
+  // Chunks lost on the wire are still registered in-transit until their
+  // retransmission installs; completing now would leak them.
+  if (core_.session().in_flight() > 0) return;
   align_.clear();
   dst_.clear();
   out_.clear();

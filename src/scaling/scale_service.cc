@@ -99,6 +99,9 @@ ScalingStrategy* ScaleService::GetOrCreate(dataflow::OperatorId op) {
                                                 options_))
              .first;
     it->second->set_idle_listener([this]() { OnStrategyIdle(); });
+    if (options_.chunk_retry.enabled) {
+      it->second->EnableChunkRetry(options_.chunk_retry);
+    }
   }
   return it->second.get();
 }
@@ -106,6 +109,9 @@ ScalingStrategy* ScaleService::GetOrCreate(dataflow::OperatorId op) {
 Status ScaleService::RequestRescale(dataflow::OperatorId op,
                                     uint32_t target_parallelism) {
   DRRS_RETURN_NOT_OK(ValidateRequest(op, target_parallelism));
+  // A fresh user request starts with a clean abort budget; only the
+  // watchdog's own re-admissions carry attempts across.
+  if (options_.retry.enabled) watches_[op].attempts = 0;
   return Admit(op, target_parallelism, GetOrCreate(op));
 }
 
@@ -135,13 +141,86 @@ Status ScaleService::Admit(dataflow::OperatorId op, uint32_t target,
       pending_[op] = target;
       return Status::OK();
     }
-    return strategy->StartScale(SupersedingPlan(op, target));
+    Status st = strategy->StartScale(SupersedingPlan(op, target));
+    if (st.ok()) ArmDeadline(op, target);
+    return st;
   }
   ScalePlan plan =
       options_.use_balanced_plan
           ? PlanBalancedRescale(graph_, op, target, options_.stickiness)
           : PlanRescale(graph_, op, target);
-  return strategy->StartScale(plan);
+  Status st = strategy->StartScale(plan);
+  if (st.ok()) ArmDeadline(op, target);
+  return st;
+}
+
+void ScaleService::ArmDeadline(dataflow::OperatorId op, uint32_t target) {
+  if (!options_.retry.enabled) return;
+  Watch& w = watches_[op];
+  w.target = target;
+  uint64_t epoch = ++w.epoch;
+  graph_->sim()->ScheduleAfter(options_.retry.progress_deadline,
+                               [this, op, epoch]() { OnDeadline(op, epoch); });
+}
+
+void ScaleService::OnDeadline(dataflow::OperatorId op, uint64_t epoch) {
+  auto it = watches_.find(op);
+  if (it == watches_.end() || it->second.epoch != epoch) return;
+  Watch& w = it->second;
+  ScalingStrategy* strategy = strategy_for(op);
+  if (strategy == nullptr || strategy->done()) {
+    w.attempts = 0;  // finished within its deadline
+    return;
+  }
+  metrics::RecoveryMetrics& recovery = graph_->hub()->recovery();
+  if (w.attempts >= options_.retry.max_attempts) {
+    // Abort budget exhausted: cancel the request for good. The final abort
+    // still runs so the job returns to quiescent ownership (roll-forward
+    // leaves the planned assignment in place).
+    ++recovery.scale_cancellations;
+    DRRS_LOG(Error) << "scale-retry: cancelling rescale of operator " << op
+                    << " to parallelism " << w.target << " after "
+                    << w.attempts << " aborted attempt(s): "
+                    << "no progress within the deadline budget";
+    pending_.erase(op);
+    strategy->CancelScale(options_.retry.abort_grace, nullptr);
+    return;
+  }
+  ++w.attempts;
+  uint32_t attempt = w.attempts;
+  ++recovery.scale_aborts;
+  DRRS_LOG(Warn) << "scale-retry: operator " << op
+                 << " missed its progress deadline, aborting (attempt "
+                 << attempt << "/" << options_.retry.max_attempts << ")";
+  bool accepted = strategy->CancelScale(
+      options_.retry.abort_grace, [this, op, attempt](bool /*aborted*/) {
+        if (watches_.find(op) == watches_.end()) return;
+        sim::SimTime backoff = options_.retry.retry_backoff;
+        for (uint32_t i = 1; i < attempt; ++i) {
+          backoff = static_cast<sim::SimTime>(
+              static_cast<double>(backoff) * options_.retry.backoff_factor);
+        }
+        graph_->sim()->ScheduleAfter(backoff,
+                                     [this, op]() { RetryAfterAbort(op); });
+      });
+  if (!accepted) {
+    // Mechanism without cancel support (or a cancel already in flight):
+    // keep watching — the operation may still finish on its own.
+    DRRS_LOG(Warn) << "scale-retry: " << strategy->name()
+                   << " cannot abort; re-arming the deadline";
+    ArmDeadline(op, w.target);
+  }
+}
+
+void ScaleService::RetryAfterAbort(dataflow::OperatorId op) {
+  auto it = watches_.find(op);
+  if (it == watches_.end()) return;
+  ++graph_->hub()->recovery().scale_retries;
+  Status st = Admit(op, it->second.target, GetOrCreate(op));
+  if (!st.ok()) {
+    DRRS_LOG(Error) << "scale-retry: re-admission for operator " << op
+                    << " failed: " << st.ToString();
+  }
 }
 
 ScalePlan ScaleService::SupersedingPlan(dataflow::OperatorId op,

@@ -63,6 +63,25 @@ class ScaleService {
     /// (balanced planning needs quiescent ownership).
     bool use_balanced_plan = false;
     double stickiness = 0.3;
+    /// Scale-abort-and-retry watchdog. When enabled, every started
+    /// operation gets a progress deadline; an operation still running when
+    /// it expires is aborted (roll-forward, ScalingStrategy::CancelScale)
+    /// and re-admitted after an exponential backoff. A request that burns
+    /// through `max_attempts` aborts is cancelled with a structured log
+    /// line (and counted in RecoveryMetrics::scale_cancellations).
+    struct RetryPolicy {
+      bool enabled = false;
+      sim::SimTime progress_deadline = sim::Seconds(20);
+      /// Wire-drain window between quiesce and force-completion.
+      sim::SimTime abort_grace = sim::Millis(5);
+      uint32_t max_attempts = 3;
+      sim::SimTime retry_backoff = sim::Millis(200);
+      double backoff_factor = 2.0;
+    };
+    RetryPolicy retry;
+    /// Per-chunk ack/retransmission for every strategy's state transfers
+    /// (applied to each strategy as it is created).
+    ChunkRetryPolicy chunk_retry;
   };
 
   explicit ScaleService(runtime::ExecutionGraph* graph)
@@ -95,6 +114,13 @@ class ScaleService {
   size_t pending_requests() const { return pending_.size(); }
 
  private:
+  /// Per-operator watchdog state for Options::RetryPolicy.
+  struct Watch {
+    uint64_t epoch = 0;     ///< invalidates stale deadline callbacks
+    uint32_t attempts = 0;  ///< aborts charged to the current request
+    uint32_t target = 0;    ///< target parallelism being watched
+  };
+
   Status ValidateRequest(dataflow::OperatorId op, uint32_t target) const;
   ScalingStrategy* GetOrCreate(dataflow::OperatorId op);
   /// Start `target` on `strategy` or queue it, per the Section IV-B rules.
@@ -103,12 +129,16 @@ class ScaleService {
   ScalePlan SupersedingPlan(dataflow::OperatorId op, uint32_t target) const;
   void OnStrategyIdle();
   void DrainPending();
+  void ArmDeadline(dataflow::OperatorId op, uint32_t target);
+  void OnDeadline(dataflow::OperatorId op, uint64_t epoch);
+  void RetryAfterAbort(dataflow::OperatorId op);
 
   runtime::ExecutionGraph* graph_;
   Options options_;
   std::map<dataflow::OperatorId, std::unique_ptr<ScalingStrategy>> strategies_;
   /// op -> deferred target parallelism (latest request wins).
   std::map<dataflow::OperatorId, uint32_t> pending_;
+  std::map<dataflow::OperatorId, Watch> watches_;
   bool drain_scheduled_ = false;
 };
 

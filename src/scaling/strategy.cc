@@ -51,6 +51,33 @@ ScalePlan PlanBalancedRescale(runtime::ExecutionGraph* graph,
                                stickiness);
 }
 
+bool ScalingStrategy::CancelScale(sim::SimTime grace,
+                                  std::function<void(bool)> on_done) {
+  if (!core_.active()) {
+    if (on_done) on_done(false);
+    return true;
+  }
+  if (!SupportsCancel() || cancelling_) return false;
+  cancelling_ = true;
+  QuiesceScale();
+  graph_->sim()->ScheduleAfter(grace, [this, on_done = std::move(on_done)]() {
+    cancelling_ = false;
+    if (!core_.active()) {
+      // The operation completed (or was superseded away) during the grace
+      // window; nothing to abort.
+      if (on_done) on_done(false);
+      return;
+    }
+    size_t forced = core_.ForceCompleteTransfers();
+    AbandonScale();
+    core_.AbortActiveScale();
+    DRRS_LOG(Warn) << name() << ": scale aborted (roll-forward), " << forced
+                   << " transfer(s) force-completed";
+    if (on_done) on_done(true);
+  });
+  return true;
+}
+
 const std::vector<runtime::Task*>& ScalingStrategy::EnsureInstances(
     const ScalePlan& plan) {
   uint32_t current = graph_->parallelism_of(plan.op);

@@ -73,6 +73,28 @@ class ScalingStrategy {
   /// strategies must not run concurrently with any other scaling operation.
   virtual bool exclusive() const { return false; }
 
+  /// Whether this strategy implements QuiesceScale/AbandonScale (the
+  /// scale-abort-and-retry path of ScaleService). Strategies without cancel
+  /// support ride out stalled operations; the service only logs.
+  virtual bool SupportsCancel() const { return false; }
+
+  /// Abort the in-flight scaling operation by rolling it *forward*: the
+  /// strategy quiesces its protocol (routing already flipped toward
+  /// migration targets stays flipped), waits `grace` for the wires to
+  /// drain, force-completes every registered transfer at its planned
+  /// receiver and tears the scale down via ScaleContext::AbortActiveScale.
+  /// Asynchronous: `on_done(aborted)` fires once teardown finished —
+  /// `aborted=false` when the operation completed on its own during the
+  /// grace window. Returns false (and does nothing) when the strategy does
+  /// not support cancellation or a cancel is already running; returns true
+  /// with an immediate on_done(false) when no operation is active.
+  bool CancelScale(sim::SimTime grace, std::function<void(bool)> on_done);
+
+  /// Turn on per-chunk ack/retransmission for this strategy's transfers.
+  void EnableChunkRetry(const ChunkRetryPolicy& policy) {
+    core_.transfer().EnableReliability(policy, hub_);
+  }
+
   /// Invoked whenever the strategy transitions to idle (end of EndScale).
   void set_idle_listener(std::function<void()> cb) {
     core_.set_on_idle(std::move(cb));
@@ -90,9 +112,23 @@ class ScalingStrategy {
   /// live ownership when the pending plan starts).
   Status ValidatePlan(const ScalePlan& plan, bool check_ownership = true) const;
 
+  /// CancelScale phase 1: stop initiating migrations (clear queues, drop
+  /// pending plans) and make routing consistent with the planned targets so
+  /// in-flight records drain to a well-defined owner during the grace
+  /// window. Must be idempotent against the operation finishing on its own.
+  virtual void QuiesceScale() {}
+
+  /// CancelScale phase 2 (after the grace window and ForceCompleteTransfers):
+  /// discard all per-operation protocol state, teleport anything the
+  /// protocol still holds locally (unsent units, reroute buffers, records
+  /// parked in source input queues) to its planned owner, and leave every
+  /// task unhooked-ready. ScaleContext::AbortActiveScale runs right after.
+  virtual void AbandonScale() {}
+
   runtime::ExecutionGraph* graph_;
   metrics::MetricsHub* hub_;
   ScaleContext core_;
+  bool cancelling_ = false;
 };
 
 }  // namespace drrs::scaling

@@ -93,11 +93,34 @@ void UnboundStrategy::PumpCopy(Task* src) {
 
 bool UnboundStrategy::HandleControl(Task* task, const StreamElement& e) {
   if (e.kind != ElementKind::kStateChunk) return false;
-  core_.session().Install(task, e);
-  pending_.erase(e.key_group);
-  task->WakeUp();
-  MaybeFinish();
+  // A dropped install (aborted-scale chunk still draining, suppressed
+  // duplicate) must not advance this operation's completion accounting.
+  if (core_.session().Install(task, e)) {
+    pending_.erase(e.key_group);
+    task->WakeUp();
+    MaybeFinish();
+  }
   return true;
+}
+
+void UnboundStrategy::AbandonScale() {
+  // Key-groups never extracted are still owned by their sources; move them
+  // to the planned owner directly (chunks on the wire were force-completed
+  // by the caller).
+  for (auto& [src_id, paths] : out_) {
+    Task* src = graph_->task(src_id);
+    for (OutPath& p : paths) {
+      for (dataflow::KeyGroupId kg : p.to_send) {
+        if (src->state() == nullptr || !src->state()->OwnsKeyGroup(kg)) {
+          continue;
+        }
+        p.dst->state()->InstallKeyGroup(src->state()->ExtractKeyGroup(kg));
+        p.dst->WakeUp();
+      }
+    }
+  }
+  out_.clear();
+  pending_.clear();
 }
 
 void UnboundStrategy::MaybeFinish() {

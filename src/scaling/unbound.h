@@ -29,8 +29,14 @@ class UnboundStrategy : public ScalingStrategy {
   std::string name() const override { return "unbound"; }
   Status StartScale(const ScalePlan& plan) override;
 
+  /// Routing flips instantly at StartScale, so QuiesceScale has nothing to
+  /// do and AbandonScale only teleports the not-yet-copied key-groups.
+  bool SupportsCancel() const override { return true; }
+
  private:
   friend class UnboundTaskHook;
+
+  void AbandonScale() override;
 
   bool HandleControl(runtime::Task* task, const dataflow::StreamElement& e);
   void PumpCopy(runtime::Task* src);

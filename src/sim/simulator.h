@@ -11,6 +11,10 @@ namespace drrs::verify {
 class Auditor;
 }  // namespace drrs::verify
 
+namespace drrs::net {
+class FaultPlane;
+}  // namespace drrs::net
+
 namespace drrs::sim {
 
 /// \brief Discrete-event simulation driver.
@@ -52,6 +56,11 @@ class Simulator {
   void set_auditor(verify::Auditor* auditor);
   verify::Auditor* auditor() const { return auditor_; }
 
+  /// Install (or clear, with nullptr) the fault plane consulted by channels.
+  /// Null in fault-free runs, so the hot transmit path pays one pointer test.
+  void set_fault_plane(net::FaultPlane* plane) { fault_plane_ = plane; }
+  net::FaultPlane* fault_plane() const { return fault_plane_; }
+
   /// Cancelled periodic events that still fired (as no-ops). A cancelled
   /// PeriodicProcess leaves its already-armed event in the queue by design;
   /// this counter makes the "leak" observable, mirroring
@@ -64,6 +73,7 @@ class Simulator {
   uint64_t executed_ = 0;
   EventQueue queue_;
   verify::Auditor* auditor_ = nullptr;
+  net::FaultPlane* fault_plane_ = nullptr;
   uint64_t cancelled_fires_ = 0;
 };
 

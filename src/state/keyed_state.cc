@@ -124,6 +124,12 @@ std::vector<KeyGroupState> KeyedStateBackend::Snapshot() const {
   return out;
 }
 
+void KeyedStateBackend::DropAllCells() {
+  touched_.clear();  // pointers below are about to be invalidated
+  for (auto& g : groups_) g.clear();
+  for (auto& b : group_bytes_) b = 0;
+}
+
 void KeyedStateBackend::Restore(std::vector<KeyGroupState> snapshot) {
   touched_.clear();  // pointers below are about to be invalidated
   for (auto& g : groups_) g.clear();

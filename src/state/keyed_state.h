@@ -127,6 +127,11 @@ class KeyedStateBackend {
   /// Replace all local state with a snapshot (restore path).
   void Restore(std::vector<KeyGroupState> snapshot);
 
+  /// Wipe every cell while keeping key-group ownership (task-crash model:
+  /// the instance loses its volatile state but keeps its routing role; a
+  /// checkpoint restore repopulates the owned groups).
+  void DropAllCells();
+
   /// Debug mode: every TotalBytes()/KeyGroupBytes() read re-derives the
   /// counters with a full scan and aborts on divergence. Used by tests to
   /// pin the incremental accounting to the ground truth.

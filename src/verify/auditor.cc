@@ -46,6 +46,15 @@ std::string AuditReport::Summary() const {
      << ", chunks tracked=" << chunks_tracked
      << " installed=" << chunks_installed
      << ", scales=" << scales_observed << ", tie-break pops=" << tie_pops;
+  if (chunks_lost + chunks_retransmitted + chunks_force_installed +
+          duplicate_suppressed + aborted_drops >
+      0) {
+    os << "; faults: lost=" << chunks_lost
+       << " retransmitted=" << chunks_retransmitted
+       << " force-installed=" << chunks_force_installed
+       << " dup-suppressed=" << duplicate_suppressed
+       << " aborted-drops=" << aborted_drops;
+  }
   return os.str();
 }
 
@@ -169,10 +178,13 @@ void Auditor::OnElementDelivered(const StreamElement& element,
     case ElementKind::kScaleComplete: {
       if (!options_.protocol) return;
       for (const auto& [id, chunk] : chunks_) {
+        // Lost or retransmitted chunks legitimately trail the complete
+        // marker: the ack-timeout recovery path re-sends them after the
+        // sender already believed the path drained.
         if (chunk.scale == element.scale_id &&
             chunk.subscale == element.subscale_id &&
             chunk.from == element.from_instance && chunk.to == receiver &&
-            chunk.state == ChunkState::kSent) {
+            chunk.state == ChunkState::kSent && !chunk.retransmitted) {
           std::ostringstream os;
           os << "kScaleComplete for scale " << element.scale_id
              << " subscale " << element.subscale_id << " ("
@@ -272,7 +284,8 @@ void Auditor::OnScaleEnd(dataflow::ScaleId scale, size_t open_subscales,
   for (const auto& [id, chunk] : chunks_) {
     if (chunk.scale != scale) continue;
     if (chunk.state == ChunkState::kSent ||
-        chunk.state == ChunkState::kDelivered) {
+        chunk.state == ChunkState::kDelivered ||
+        chunk.state == ChunkState::kLost) {
       if (outstanding < 4) {
         std::ostringstream os;
         os << "state transfer leak at EndScale: chunk (transfer " << id
@@ -344,14 +357,14 @@ void Auditor::OnChunkEnqueued(const StreamElement& chunk,
     AddViolation(AuditCheck::kProtocol, os.str());
   }
   auto [it, inserted] = chunks_.emplace(
-      chunk.seq, ChunkInfo{ChunkState::kSent, chunk.scale_id,
+      chunk.seq, ChunkInfo{ChunkState::kSent, false, chunk.scale_id,
                            chunk.subscale_id, chunk.key_group, from, to,
                            Now()});
   if (!inserted) {
     std::ostringstream os;
     os << "transfer id " << chunk.seq << " reused for a second state chunk";
     AddViolation(AuditCheck::kProtocol, os.str());
-    it->second = ChunkInfo{ChunkState::kSent, chunk.scale_id,
+    it->second = ChunkInfo{ChunkState::kSent, false, chunk.scale_id,
                            chunk.subscale_id, chunk.key_group, from, to,
                            Now()};
   }
@@ -388,6 +401,75 @@ void Auditor::OnChunkInstalled(const StreamElement& chunk,
        << info.to << " but installed at instance " << to;
     AddViolation(AuditCheck::kProtocol, os.str());
   }
+}
+
+void Auditor::OnChunkWireDropped(const StreamElement& chunk) {
+  if (!options_.protocol) return;
+  ++chunks_lost_;
+  auto it = chunks_.find(chunk.seq);
+  if (it != chunks_.end() && it->second.state != ChunkState::kInstalled &&
+      it->second.state != ChunkState::kAborted) {
+    it->second.state = ChunkState::kLost;
+  }
+}
+
+void Auditor::OnChunkRetransmitted(uint64_t transfer_id) {
+  if (!options_.protocol) return;
+  ++chunks_retransmitted_;
+  auto it = chunks_.find(transfer_id);
+  if (it == chunks_.end()) return;
+  it->second.retransmitted = true;
+  if (it->second.state == ChunkState::kLost ||
+      it->second.state == ChunkState::kDelivered) {
+    it->second.state = ChunkState::kSent;
+  }
+}
+
+void Auditor::OnChunkForceInstalled(uint64_t transfer_id,
+                                    dataflow::InstanceId to) {
+  if (!options_.protocol) return;
+  ++chunks_force_installed_;
+  auto it = chunks_.find(transfer_id);
+  if (it == chunks_.end()) return;
+  ChunkInfo& info = it->second;
+  if (info.state == ChunkState::kInstalled) {
+    std::ostringstream os;
+    os << "state chunk (transfer " << transfer_id
+       << ") force-installed at instance " << to
+       << " after a regular install";
+    AddViolation(AuditCheck::kProtocol, os.str());
+  }
+  if (info.to != to) {
+    std::ostringstream os;
+    os << "state chunk (transfer " << transfer_id << ") addressed to instance "
+       << info.to << " but force-installed at instance " << to;
+    AddViolation(AuditCheck::kProtocol, os.str());
+  }
+  info.state = ChunkState::kInstalled;
+}
+
+void Auditor::OnChunkDuplicateSuppressed(const StreamElement& chunk) {
+  if (!options_.protocol) return;
+  ++duplicate_suppressed_;
+  // A suppressed duplicate must correspond to an already-installed transfer;
+  // suppressing a chunk that was never installed would lose state.
+  auto it = chunks_.find(chunk.seq);
+  if (it != chunks_.end() && it->second.state != ChunkState::kInstalled) {
+    std::ostringstream os;
+    os << "duplicate suppression of transfer " << chunk.seq
+       << " whose chunk was never installed";
+    AddViolation(AuditCheck::kProtocol, os.str());
+  }
+}
+
+void Auditor::OnChunkDroppedAborted(const StreamElement& chunk) {
+  if (!options_.protocol) return;
+  ++aborted_drops_;
+  // Audit note only: dropping an aborted scale's floating chunk is the
+  // *correct* behavior. Tracked so chaos tests can assert it happened.
+  DRRS_LOG(Debug) << "audit note: chunk of aborted scale " << chunk.scale_id
+                  << " (transfer " << chunk.seq << ", key-group "
+                  << chunk.key_group << ") dropped on arrival";
 }
 
 void Auditor::OnChunkUnknownInstall(const StreamElement& chunk) {
@@ -487,7 +569,8 @@ void Auditor::Finalize() {
   if (options_.protocol) {
     for (const auto& [id, chunk] : chunks_) {
       if (chunk.state == ChunkState::kSent ||
-          chunk.state == ChunkState::kDelivered) {
+          chunk.state == ChunkState::kDelivered ||
+          chunk.state == ChunkState::kLost) {
         std::ostringstream os;
         os << "state chunk (transfer " << id << ", key-group "
            << chunk.key_group << ", " << chunk.from << " -> " << chunk.to
@@ -522,6 +605,11 @@ AuditReport Auditor::Report() const {
   report.chunks_tracked = chunks_.size();
   report.chunks_installed = chunks_installed_;
   report.scales_observed = scales_observed_;
+  report.chunks_lost = chunks_lost_;
+  report.chunks_retransmitted = chunks_retransmitted_;
+  report.chunks_force_installed = chunks_force_installed_;
+  report.duplicate_suppressed = duplicate_suppressed_;
+  report.aborted_drops = aborted_drops_;
   report.tie_pops = tie_pops_;
   return report;
 }

@@ -52,6 +52,12 @@ struct AuditReport {
   uint64_t chunks_tracked = 0;
   uint64_t chunks_installed = 0;
   uint64_t scales_observed = 0;
+  // Fault-injection lifecycle diagnostics (all zero in fault-free runs).
+  uint64_t chunks_lost = 0;            ///< dropped on the wire by a fault
+  uint64_t chunks_retransmitted = 0;   ///< ack-timeout retransmissions
+  uint64_t chunks_force_installed = 0; ///< installed by abort roll-forward
+  uint64_t duplicate_suppressed = 0;   ///< receiver-side idempotent drops
+  uint64_t aborted_drops = 0;          ///< aborted-scale chunks dropped on arrival
   /// Events popped at the same simulated time as their predecessor: their
   /// relative order is decided purely by the queue's insertion-seq
   /// tie-break. Deterministic, but a hazard marker for logic that assumes
@@ -146,6 +152,21 @@ class Auditor {
   void OnChunkAborted(uint64_t transfer_id);
   void OnChunkInstalled(const dataflow::StreamElement& chunk,
                         dataflow::InstanceId to);
+  /// A chunk was dropped on the wire by the fault plane. Not a violation:
+  /// the sender's retransmission (or abort roll-forward) must cover it, and
+  /// the leak checks still fire if nothing ever does.
+  void OnChunkWireDropped(const dataflow::StreamElement& chunk);
+  /// The sender retransmitted `transfer_id` after an ack timeout. Re-arms
+  /// the chunk's lifecycle (back to sent) without counting as a reuse.
+  void OnChunkRetransmitted(uint64_t transfer_id);
+  /// Abort roll-forward installed the registry copy of `transfer_id`
+  /// directly at its planned receiver, bypassing the wire.
+  void OnChunkForceInstalled(uint64_t transfer_id, dataflow::InstanceId to);
+  /// The receiver suppressed a duplicate install (idempotent retry path).
+  void OnChunkDuplicateSuppressed(const dataflow::StreamElement& chunk);
+  /// A chunk of an aborted scale arrived and was dropped instead of
+  /// installed. Audit note, not a violation.
+  void OnChunkDroppedAborted(const dataflow::StreamElement& chunk);
   /// StateTransfer::Install got a transfer id it has no record of (a
   /// duplicated or corrupted chunk). Under audit this is a recorded
   /// violation instead of a process abort.
@@ -186,9 +207,16 @@ class Auditor {
   };
 
   /// Transfer lifecycle of one state chunk (keyed by transfer id).
-  enum class ChunkState : uint8_t { kSent = 0, kDelivered, kInstalled, kAborted };
+  enum class ChunkState : uint8_t {
+    kSent = 0,
+    kDelivered,
+    kInstalled,
+    kAborted,
+    kLost,  ///< dropped on the wire; awaiting retransmit or roll-forward
+  };
   struct ChunkInfo {
     ChunkState state = ChunkState::kSent;
+    bool retransmitted = false;  ///< at least one ack-timeout retransmission
     dataflow::ScaleId scale = 0;
     dataflow::SubscaleId subscale = 0;
     dataflow::KeyGroupId key_group = 0;
@@ -238,6 +266,11 @@ class Auditor {
       complete_sent_;
   uint64_t chunks_installed_ = 0;
   uint64_t scales_observed_ = 0;
+  uint64_t chunks_lost_ = 0;
+  uint64_t chunks_retransmitted_ = 0;
+  uint64_t chunks_force_installed_ = 0;
+  uint64_t duplicate_suppressed_ = 0;
+  uint64_t aborted_drops_ = 0;
 
   // determinism
   bool popped_any_ = false;

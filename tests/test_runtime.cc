@@ -220,6 +220,55 @@ TEST(Checkpoint, RestoreRoundTrip) {
   EXPECT_EQ(restored_total, snapshot_total);
 }
 
+TEST(Checkpoint, RestoreAfterMutationIsBitIdentical) {
+  // The crash-recovery contract: snapshot, keep running (state mutates),
+  // then restore — the backend must return to the snapshot exactly, field
+  // for field, with no residue from the discarded post-snapshot updates.
+  Engine e(SmallParams());
+  CheckpointCoordinator coordinator(&e.graph);
+  e.graph.Start();
+  uint64_t id = 0;
+  e.sim.ScheduleAt(sim::Seconds(3), [&] { id = coordinator.Trigger(); });
+  e.sim.RunUntilIdle();
+  const CheckpointData* data = coordinator.Get(id);
+  ASSERT_NE(data, nullptr);
+  Task* agg0 = e.graph.instance(e.workload.scaled_op, 0);
+  auto it = data->snapshots.find(agg0->id());
+  ASSERT_NE(it, data->snapshots.end());
+  const std::vector<state::KeyGroupState>& snapshot = it->second;
+
+  // Mutate live state well past the snapshot: bump every cell and add a key
+  // the snapshot has never seen.
+  for (dataflow::KeyGroupId kg : agg0->state()->owned_key_groups()) {
+    agg0->state()->ForEachKey(kg, [&](dataflow::KeyT key) {
+      state::StateCell* cell = agg0->state()->Get(kg, key);
+      cell->counter += 1000;
+      cell->sum -= 17;
+      cell->windows.emplace_back(sim::Seconds(99), 1);
+    });
+    agg0->state()->GetOrCreate(kg, /*key=*/1u << 30)->counter = 5;
+  }
+
+  agg0->state()->Restore(snapshot);
+
+  for (const state::KeyGroupState& g : snapshot) {
+    ASSERT_TRUE(agg0->state()->OwnsKeyGroup(g.key_group));
+    size_t live_keys = 0;
+    agg0->state()->ForEachKey(g.key_group,
+                              [&](dataflow::KeyT) { ++live_keys; });
+    EXPECT_EQ(live_keys, g.cells.size()) << "kg " << g.key_group;
+    for (const auto& [key, cell] : g.cells) {
+      const state::StateCell* live = agg0->state()->Get(g.key_group, key);
+      ASSERT_NE(live, nullptr) << "kg " << g.key_group << " key " << key;
+      EXPECT_EQ(live->counter, cell.counter);
+      EXPECT_EQ(live->sum, cell.sum);
+      EXPECT_EQ(live->last_value, cell.last_value);
+      EXPECT_EQ(live->windows, cell.windows);
+      EXPECT_EQ(live->nominal_bytes, cell.nominal_bytes);
+    }
+  }
+}
+
 TEST(Checkpoint, SequentialCheckpointsIncrease) {
   Engine e(SmallParams());
   CheckpointCoordinator coordinator(&e.graph);

@@ -412,6 +412,26 @@ TEST(AuditFaultInjection, ReorderedChunkBehindCompleteIsReported) {
   EXPECT_EQ(rig.auditor.CountOf(AuditCheck::kProtocol), 2u);
 }
 
+TEST(AuditFaultInjection, ChunkOfAbortedScaleIsDroppedOnArrival) {
+  // A scale is aborted while its chunk element is still on the wire. The
+  // late arrival must be dropped (not installed into state the abort
+  // roll-forward already placed), recorded as an audit note rather than a
+  // violation — and the drop must be persistent, because a retransmission
+  // can surface the same transfer id twice.
+  FaultRig rig;
+  StreamElement chunk = rig.SendChunk();
+  rig.core.session().Abort();
+  rig.sim.RunUntilIdle();  // the orphaned chunk element arrives
+  EXPECT_FALSE(rig.core.session().Install(rig.dst, chunk));
+  EXPECT_FALSE(rig.core.session().Install(rig.dst, chunk));  // persistent
+  EXPECT_TRUE(rig.auditor.clean()) << rig.auditor.Report().Summary();
+  EXPECT_EQ(rig.auditor.Report().aborted_drops, 2u);
+  // Nothing leaked: the abort accounted for the chunk.
+  EXPECT_EQ(rig.core.session().in_flight(), 0u);
+  rig.core.EndScale();
+  EXPECT_TRUE(rig.auditor.clean()) << rig.auditor.Report().Summary();
+}
+
 #endif  // DRRS_AUDIT
 
 // ---------------------------------------------------------------------------

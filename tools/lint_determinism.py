@@ -36,7 +36,7 @@ import os
 import re
 import sys
 
-DECISION_PATH_DIRS = ("src/sim", "src/scaling", "src/runtime")
+DECISION_PATH_DIRS = ("src/sim", "src/scaling", "src/runtime", "src/fault")
 CXX_EXTENSIONS = (".h", ".cc", ".cpp", ".hpp")
 
 # ---- rule 1: wall clock ----------------------------------------------------
