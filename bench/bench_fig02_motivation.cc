@@ -9,12 +9,14 @@
 #include <vector>
 
 #include "bench/bench_workloads.h"
+#include "harness/json_summary.h"
 
 namespace {
 
 using drrs::harness::ExperimentResult;
 using drrs::harness::RunExperiment;
 using drrs::harness::SystemKind;
+using drrs::harness::SystemName;
 using drrs::bench::BenchArgs;
 using drrs::bench::BenchSetups;
 using drrs::bench::BuildByName;
@@ -47,7 +49,16 @@ int main(int argc, char** argv) {
     // part of what this figure demonstrates.
     config.engine.check_invariants = true;
     if (args.faults) drrs::bench::ApplyFaultConfig(config);
+    if (!args.trace.empty()) {
+      config.trace_path = drrs::bench::TaggedPath(args.trace, SystemName(kind));
+    }
     results.push_back(RunExperiment(spec, config));
+    if (!args.json_summary.empty()) {
+      drrs::Status js = drrs::harness::WriteJsonSummary(
+          results.back(),
+          drrs::bench::TaggedPath(args.json_summary, SystemName(kind)));
+      if (!js.ok()) std::fprintf(stderr, "%s\n", js.ToString().c_str());
+    }
   }
 
   const ExperimentResult& noscale = results[2];

@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "bench/bench_workloads.h"
+#include "harness/json_summary.h"
 
 namespace {
 
@@ -28,7 +29,20 @@ void RunWorkload(const std::string& workload, const BenchArgs& args) {
   std::vector<ExperimentResult> results;
   for (SystemKind kind : systems) {
     auto spec = BuildByName(workload, args.scale);
-    results.push_back(RunExperiment(spec, BenchSetups::Config(kind)));
+    auto config = BenchSetups::Config(kind);
+    if (!args.trace.empty()) {
+      config.trace_path = drrs::bench::TaggedPath(
+          args.trace, workload + "." + drrs::harness::SystemName(kind));
+    }
+    results.push_back(RunExperiment(spec, config));
+    if (!args.json_summary.empty()) {
+      drrs::Status js = drrs::harness::WriteJsonSummary(
+          results.back(),
+          drrs::bench::TaggedPath(
+              args.json_summary,
+              workload + "." + drrs::harness::SystemName(kind)));
+      if (!js.ok()) std::fprintf(stderr, "%s\n", js.ToString().c_str());
+    }
   }
 
   // Paper methodology: statistics over the longest observed scaling period.

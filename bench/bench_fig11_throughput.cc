@@ -46,18 +46,11 @@ void RunWorkload(const std::string& workload, const BenchArgs& args) {
     auto rates = r.hub->source_rate().ToRateSeries();
     sim::SimTime to = from + std::max<sim::SimTime>(r.scaling_period,
                                                     sim::Seconds(10));
-    double mn = 1e18, mx = 0, dev = 0;
-    uint64_t n = 0;
-    for (const auto& s : rates.samples()) {
-      if (s.time < from || s.time > to) continue;
-      mn = std::min(mn, s.value);
-      mx = std::max(mx, s.value);
-      dev += std::abs(s.value - input_rate);
-      ++n;
-    }
+    auto stats = rates.StatsIn(from, to);
+    double dev = rates.MeanAbsDeviationIn(input_rate, from, to);
     std::printf("%-12s %14.0f %14.0f %17.1f%% %20.0f r/s\n", r.system.c_str(),
-                mn, mx, (1.0 - mn / input_rate) * 100.0,
-                n ? dev / static_cast<double>(n) : 0.0);
+                stats.min, stats.max, (1.0 - stats.min / input_rate) * 100.0,
+                dev);
   }
 
   if (args.series) {

@@ -61,16 +61,9 @@ double RunCell(SystemKind kind, double rate, uint64_t state_bytes, double skew,
   // Mean |throughput - input| over the measurement window after the scaling
   // request, as % of the input rate.
   auto series = r.hub->source_rate().ToRateSeries();
-  double dev = 0;
-  uint64_t n = 0;
-  for (const auto& s : series.samples()) {
-    if (s.time < c.scale_at || s.time > c.scale_at + sim::Seconds(80)) {
-      continue;
-    }
-    dev += std::abs(s.value - rate * scale);
-    ++n;
-  }
-  return n == 0 ? 0.0 : dev / static_cast<double>(n) / (rate * scale) * 100.0;
+  double dev = series.MeanAbsDeviationIn(rate * scale, c.scale_at,
+                                         c.scale_at + sim::Seconds(80));
+  return dev / (rate * scale) * 100.0;
 }
 
 }  // namespace

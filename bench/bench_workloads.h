@@ -106,10 +106,16 @@ inline workloads::WorkloadSpec BuildByName(const std::string& name,
 /// keep `for b in bench/*; do $b; done` output compact). `--faults` arms
 /// the canonical chunk-loss schedule (see FaultConfig) on binaries that
 /// support it, for recovery-latency comparisons against the clean run.
+/// `--trace=<path>` exports a Chrome/Perfetto trace per run (DRRS_TRACE
+/// builds only; parsed but inert elsewhere) and `--json-summary=<path>`
+/// writes the machine-readable run summary; binaries that run several
+/// systems tag the path per run (see TaggedPath).
 struct BenchArgs {
   double scale = 1.0;
   bool series = true;
   bool faults = false;
+  std::string trace;
+  std::string json_summary;
 
   static BenchArgs Parse(int argc, char** argv) {
     BenchArgs args;
@@ -120,11 +126,28 @@ struct BenchArgs {
         args.series = false;
       } else if (std::strcmp(argv[i], "--faults") == 0) {
         args.faults = true;
+      } else if (std::strncmp(argv[i], "--trace=", 8) == 0) {
+        args.trace = argv[i] + 8;
+      } else if (std::strncmp(argv[i], "--json-summary=", 15) == 0) {
+        args.json_summary = argv[i] + 15;
       }
     }
     return args;
   }
 };
+
+/// "out.json" + "drrs" -> "out.drrs.json" (tag lands before a trailing
+/// .json so the files still open in trace viewers; appended otherwise).
+inline std::string TaggedPath(std::string base, const std::string& tag) {
+  const std::string ext = ".json";
+  if (base.size() >= ext.size() &&
+      base.compare(base.size() - ext.size(), ext.size(), ext) == 0) {
+    base.insert(base.size() - ext.size(), "." + tag);
+  } else {
+    base += "." + tag;
+  }
+  return base;
+}
 
 /// The canonical `--faults` schedule: drop a quarter of the state chunks
 /// (capped) around the migration and recover them via per-chunk

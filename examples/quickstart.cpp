@@ -5,6 +5,9 @@
 //   JobGraph -> ExecutionGraph -> DrrsStrategy::StartScale -> metrics.
 
 #include <cstdio>
+#include <cstring>
+#include <optional>
+#include <string>
 
 #include "harness/experiment.h"
 #include "metrics/metrics_hub.h"
@@ -12,11 +15,20 @@
 #include "scaling/drrs/drrs.h"
 #include "scaling/strategy.h"
 #include "sim/simulator.h"
+#include "trace/tracer.h"
 #include "workloads/workloads.h"
 
 using namespace drrs;
 
-int main() {
+int main(int argc, char** argv) {
+  // `--trace=out.json` exports a Chrome/Perfetto trace of the run. The hook
+  // sites only exist in DRRS_TRACE builds; elsewhere the export still works
+  // but carries only track metadata.
+  std::string trace_path;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--trace=", 8) == 0) trace_path = argv[i] + 8;
+  }
+
   // 1. Describe the job: generator -> keyed aggregator -> sink.
   workloads::CustomParams params;
   params.events_per_second = 3000;
@@ -30,6 +42,13 @@ int main() {
 
   // 2. Deploy it on the simulated engine.
   sim::Simulator sim;
+  std::optional<trace::Tracer> tracer;
+  if (!trace_path.empty()) {
+    trace::Tracer::Options topt;
+    topt.flight_dump_path = trace_path + ".flight.json";
+    tracer.emplace(topt);
+    sim.set_tracer(&*tracer);
+  }
   metrics::MetricsHub hub;
   runtime::EngineConfig engine;  // defaults: 1 Gbps links, invariants on
   runtime::ExecutionGraph graph(&sim, workload.graph, engine, &hub);
@@ -83,6 +102,13 @@ int main() {
     std::printf("aggregator[%u] owns %zu key-groups, %llu records processed\n",
                 t->subtask_index(), t->state()->owned_key_groups().size(),
                 static_cast<unsigned long long>(t->processed_records()));
+  }
+
+  if (tracer.has_value()) {
+    Status ts = tracer->ExportJson(trace_path);
+    if (!ts.ok()) {
+      std::fprintf(stderr, "trace export failed: %s\n", ts.ToString().c_str());
+    }
   }
   return 0;
 }

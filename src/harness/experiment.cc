@@ -85,6 +85,27 @@ ExperimentResult RunExperiment(const workloads::WorkloadSpec& workload,
     sim.set_auditor(&*auditor);
   }
 #endif
+#if DRRS_TRACE
+  // The tracer is always installed in trace builds: with no --trace path it
+  // runs ring-only, so the flight recorder is armed at bounded cost.
+  trace::Tracer::Options trace_options = config.trace;
+  if (config.trace_path.empty()) {
+    trace_options.ring_only = true;
+  } else if (trace_options.flight_dump_path ==
+             trace::Tracer::Options{}.flight_dump_path) {
+    trace_options.flight_dump_path = config.trace_path + ".flight.json";
+  }
+  std::optional<trace::Tracer> tracer(std::in_place, trace_options);
+  sim.set_tracer(&*tracer);
+#if DRRS_AUDIT
+  if (auditor.has_value()) {
+    trace::Tracer* t = &*tracer;
+    auditor->set_on_violation([t](const verify::Violation& v) {
+      t->DumpFlightRecorder("audit violation: " + v.message);
+    });
+  }
+#endif
+#endif
   auto hub = std::make_unique<metrics::MetricsHub>();
   runtime::ExecutionGraph graph(&sim, workload.graph, config.engine,
                                 hub.get());
@@ -151,6 +172,16 @@ ExperimentResult RunExperiment(const workloads::WorkloadSpec& workload,
     // Leak checks only make sense once the event queue fully drained.
     if (horizon == sim::kSimTimeMax) auditor->Finalize();
     result.audit = auditor->Report();
+  }
+#endif
+#if DRRS_TRACE
+  result.trace_events = tracer->event_count();
+  result.flight_dumps = tracer->flight_dumps();
+  if (!config.trace_path.empty()) {
+    Status trace_st = tracer->ExportJson(config.trace_path);
+    if (!trace_st.ok()) {
+      DRRS_LOG(Error) << "trace export failed: " << trace_st.ToString();
+    }
   }
 #endif
   result.system = strategy ? strategy->name() : SystemName(config.system);

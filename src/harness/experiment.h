@@ -10,6 +10,7 @@
 #include "runtime/execution_graph.h"
 #include "scaling/scale_service.h"
 #include "sim/simulator.h"
+#include "trace/tracer.h"
 #include "verify/auditor.h"
 #include "workloads/workloads.h"
 
@@ -73,6 +74,15 @@ struct ExperimentConfig {
   scaling::ChunkRetryPolicy chunk_retry;
   /// Scale-abort-and-retry watchdog for the control plane (off by default).
   scaling::ScaleService::Options::RetryPolicy scale_retry;
+  /// Export a Chrome/Perfetto trace of the run to this path. Only effective
+  /// in DRRS_TRACE builds; elsewhere no hook sites exist and the field is
+  /// ignored, so benches can parse --trace unconditionally. Empty keeps the
+  /// tracer in ring-only mode (flight recorder armed, no full log).
+  std::string trace_path;
+  /// Tracer tuning (category mask, ring capacity, flight-dump path). When
+  /// `trace.flight_dump_path` is left at its default and `trace_path` is
+  /// set, flight dumps land next to the trace as `<trace_path>.flight.json`.
+  trace::Tracer::Options trace;
 };
 
 struct ExperimentResult {
@@ -107,6 +117,10 @@ struct ExperimentResult {
 
   /// Fault/recovery counters of the run (all zero in fault-free runs).
   metrics::RecoveryMetrics recovery;
+
+  /// Tracer activity (0 unless built with DRRS_TRACE).
+  uint64_t trace_events = 0;
+  uint64_t flight_dumps = 0;
 
   /// Full measurement data for series printing / custom analysis.
   std::unique_ptr<metrics::MetricsHub> hub;

@@ -1,0 +1,28 @@
+#ifndef DRRS_HARNESS_JSON_SUMMARY_H_
+#define DRRS_HARNESS_JSON_SUMMARY_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "harness/experiment.h"
+
+namespace drrs::harness {
+
+/// Render an ExperimentResult as a machine-readable JSON object with a
+/// stable schema (see tools/trace_schema.json's sibling description in
+/// DESIGN.md §6). Everything PrintRunSummary shows is included, plus the
+/// full RecoveryMetrics, audit findings and the log-bucketed latency/stall
+/// histograms — so benches and CI can diff runs structurally instead of
+/// scraping stdout.
+///
+/// Times are microseconds of simulated time unless the key says `_ms`.
+/// `schema_version` is bumped on any incompatible change.
+std::string JsonSummary(const ExperimentResult& result);
+
+/// Write JsonSummary(result) to `path` (overwrites).
+Status WriteJsonSummary(const ExperimentResult& result,
+                        const std::string& path);
+
+}  // namespace drrs::harness
+
+#endif  // DRRS_HARNESS_JSON_SUMMARY_H_

@@ -36,6 +36,7 @@ void ScalingMetrics::RecordUnitTransfer(dataflow::KeyGroupId kg,
 void ScalingMetrics::RecordStall(StallReason reason, sim::SimTime begin,
                                  sim::SimTime end) {
   if (end <= begin) return;
+  stall_hists_[static_cast<size_t>(reason)].Record(sim::ToMillis(end - begin));
   if (reason == StallReason::kBackpressure) {
     backpressure_total_ += end - begin;
     return;

@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "dataflow/stream_element.h"
+#include "metrics/histogram.h"
 #include "metrics/timeseries.h"
 #include "sim/sim_time.h"
 
@@ -41,6 +42,13 @@ class ScalingMetrics {
 
   // -- suspension --
   void RecordStall(StallReason reason, sim::SimTime begin, sim::SimTime end);
+
+  /// Stall-duration distribution (ms) per reason. Fed by every RecordStall;
+  /// summaries surface only in the JSON emitters, so the Fig 12/13 exact
+  /// aggregates are untouched.
+  const LogHistogram& StallHistogram(StallReason reason) const {
+    return stall_hists_[static_cast<size_t>(reason)];
+  }
 
   // -- derived metrics --
   /// Sum over signals of (first migration - injection). Paper Fig 12 left.
@@ -85,6 +93,7 @@ class ScalingMetrics {
     sim::SimTime end;
   };
   std::vector<Stall> stalls_;
+  LogHistogram stall_hists_[3];  ///< indexed by StallReason
   sim::SimTime backpressure_total_ = 0;
   std::map<std::pair<dataflow::KeyGroupId, uint32_t>, uint64_t> unit_transfers_;
   sim::SimTime scale_start_ = -1;
@@ -166,8 +175,13 @@ class MetricsHub {
   // -- latency (end-to-end markers, Section V-A) --
   void RecordMarkerLatency(sim::SimTime sink_time, sim::SimTime created) {
     latency_.Push(sink_time, sim::ToMillis(sink_time - created));
+    latency_hist_.Record(sim::ToMillis(sink_time - created));
   }
   const TimeSeries& latency_ms() const { return latency_; }
+  /// Full-run latency distribution (ms, log-bucketed). The per-window exact
+  /// scalars above stay authoritative for the figure aggregates; this feeds
+  /// the p50/p90/p99/p999 fields of the JSON summary and trace export.
+  const LogHistogram& latency_histogram() const { return latency_hist_; }
 
   // -- throughput (source output rate, Section V-A) --
   void RecordSourceEmit(sim::SimTime t, uint64_t n = 1) {
@@ -195,6 +209,7 @@ class MetricsHub {
 
  private:
   TimeSeries latency_;
+  LogHistogram latency_hist_;
   TimeSeries state_bytes_;
   RateCounter source_rate_;
   RateCounter sink_rate_;

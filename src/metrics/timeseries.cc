@@ -41,6 +41,61 @@ double TimeSeries::QuantileIn(double q, sim::SimTime begin,
   return vals[lo] * (1 - frac) + vals[hi] * frac;
 }
 
+TimeSeries::WindowStats TimeSeries::StatsIn(sim::SimTime begin,
+                                            sim::SimTime end) const {
+  WindowStats w;
+  for (const Sample& s : samples_) {
+    if (s.time < begin || s.time > end) continue;
+    if (w.count == 0) {
+      w.min = s.value;
+      w.max = s.value;
+    } else {
+      w.min = std::min(w.min, s.value);
+      w.max = std::max(w.max, s.value);
+    }
+    w.sum += s.value;
+    ++w.count;
+  }
+  return w;
+}
+
+double TimeSeries::MeanAbsDeviationIn(double ref, sim::SimTime begin,
+                                      sim::SimTime end) const {
+  double dev = 0;
+  uint64_t n = 0;
+  for (const Sample& s : samples_) {
+    if (s.time < begin || s.time > end) continue;
+    dev += std::abs(s.value - ref);
+    ++n;
+  }
+  return n == 0 ? 0 : dev / static_cast<double>(n);
+}
+
+std::vector<TimeSeries::Window> TimeSeries::Windows(sim::SimTime begin,
+                                                    sim::SimTime end,
+                                                    sim::SimTime width) const {
+  std::vector<Window> out;
+  if (width <= 0 || end < begin) return out;
+  for (const Sample& s : samples_) {
+    if (s.time < begin || s.time > end) continue;
+    sim::SimTime start = begin + (s.time - begin) / width * width;
+    if (out.empty() || out.back().start != start) {
+      out.push_back({start, {}});
+    }
+    WindowStats& w = out.back().stats;
+    if (w.count == 0) {
+      w.min = s.value;
+      w.max = s.value;
+    } else {
+      w.min = std::min(w.min, s.value);
+      w.max = std::max(w.max, s.value);
+    }
+    w.sum += s.value;
+    ++w.count;
+  }
+  return out;
+}
+
 std::vector<Sample> TimeSeries::Bucketed(sim::SimTime bucket,
                                          bool use_max) const {
   std::vector<Sample> out;

@@ -6,6 +6,7 @@
 
 #include "common/logging.h"
 #include "net/fault_plane.h"
+#include "trace/trace_hooks.h"
 #include "verify/audit_hooks.h"
 
 namespace drrs::net {
@@ -27,14 +28,22 @@ Channel::Channel(sim::Simulator* sim, const NetworkConfig& config,
 void Channel::Push(StreamElement element) {
   DRRS_AUDIT_CALL(sim_->auditor(), OnElementPushed(&element));
   output_queue_.push_back(std::move(element));
-  if (congested()) congestion_latched_ = true;
+  if (congested() && !congestion_latched_) {
+    congestion_latched_ = true;
+    DRRS_TRACE_CALL(sim_->tracer(),
+                    OnBackpressureOnset(sender_id_, receiver_id_));
+  }
   TryTransmit();
 }
 
 void Channel::PushPriority(StreamElement element) {
   DRRS_AUDIT_CALL(sim_->auditor(), OnElementPushed(&element));
   output_queue_.push_front(std::move(element));
-  if (congested()) congestion_latched_ = true;
+  if (congested() && !congestion_latched_) {
+    congestion_latched_ = true;
+    DRRS_TRACE_CALL(sim_->tracer(),
+                    OnBackpressureOnset(sender_id_, receiver_id_));
+  }
   TryTransmit();
 }
 
@@ -143,6 +152,8 @@ void Channel::TryTransmit() {
     output_queue_.pop_front();
     sent = true;
     DRRS_AUDIT_CALL(sim_->auditor(), OnElementTransmitted(e));
+    DRRS_TRACE_CALL(sim_->tracer(),
+                    OnElementTransmitted(e, sender_id_, receiver_id_));
     double bandwidth = config_.bandwidth_bytes_per_us;
     sim::SimTime extra_delay = 0;
     bool duplicate = false;
@@ -169,6 +180,11 @@ void Channel::TryTransmit() {
         static_cast<double>(e.WireBytes()) / bandwidth);
     link_free_at_ = depart + transfer + extra_delay;
     sim::SimTime arrival = link_free_at_ + config_.base_latency;
+    if (e.kind == dataflow::ElementKind::kStateChunk) {
+      DRRS_TRACE_CALL(sim_->tracer(),
+                      OnChunkWireFlight(e, sender_id_, receiver_id_, depart,
+                                        arrival));
+    }
     // A duplicated chunk consumes one extra credit; skip the copy when the
     // window cannot admit it (the injector only best-effort duplicates).
     if (duplicate &&
@@ -227,6 +243,9 @@ void Channel::Deliver(StreamElement element) {
                                      input_queue_.size() + 1,
                                      config_.input_buffer_capacity,
                                      receiver_id_));
+  DRRS_TRACE_CALL(sim_->tracer(),
+                  OnElementDelivered(element, receiver_id_,
+                                     input_queue_.size() + 1));
   input_queue_.push_back(std::move(element));
   receiver_task_->OnElementAvailable(this);
   // Note: we do not TryTransmit() here; credit was consumed, not released.
@@ -236,6 +255,8 @@ void Channel::MaybeFireDecongest() {
   if (!congestion_latched_) return;
   if (output_queue_.size() >= config_.output_buffer_capacity / 2) return;
   congestion_latched_ = false;
+  DRRS_TRACE_CALL(sim_->tracer(),
+                  OnBackpressureRelease(sender_id_, receiver_id_));
   for (auto& cb : decongest_listeners_) cb();
 }
 

@@ -5,6 +5,7 @@
 
 #include "common/logging.h"
 #include "runtime/checkpoint.h"
+#include "trace/trace_hooks.h"
 #include "verify/audit_hooks.h"
 
 namespace drrs::runtime {
@@ -162,6 +163,7 @@ void Task::Unfreeze() {
 void Task::Crash() {
   DRRS_CHECK(!crashed_) << "task " << id_ << " crashed twice";
   crashed_ = true;
+  DRRS_TRACE_CALL(sim_->tracer(), OnTaskCrashed(id_));
   ExitStall();
   // Abandon an in-progress barrier alignment: the blocked channels must not
   // stay blocked across the restart (the coordinator's checkpoint simply
@@ -193,6 +195,7 @@ uint64_t Task::Recover(const std::vector<state::KeyGroupState>& snapshot) {
     }
   }
   suspend_memo_ = false;
+  DRRS_TRACE_CALL(sim_->tracer(), OnTaskRecovered(id_, replayed));
   MaybeSchedule();
   return replayed;
 }
@@ -276,6 +279,9 @@ void Task::ExitStall() {
   if (!stalled_) return;
   stalled_ = false;
   hub_->scaling().RecordStall(stall_reason_, stall_since_, sim_->now());
+  DRRS_TRACE_CALL(sim_->tracer(),
+                  OnTaskStall(id_, op_, stall_reason_, stall_since_,
+                              sim_->now()));
 }
 
 void Task::RunOnce() {
@@ -337,6 +343,8 @@ void Task::ProcessDataRecord(net::Channel* channel, StreamElement& element) {
     return;
   }
   DRRS_AUDIT_CALL(sim_->auditor(), OnRecordProcessed(element, op_, id_));
+  DRRS_TRACE_CALL(sim_->tracer(),
+                  OnRecordProcessed(id_, op_, spec_.record_cost));
   CheckRecordInvariants(element);
   busy_until_ = sim_->now() + spec_.record_cost;
   busy_time_ += spec_.record_cost;
@@ -353,6 +361,8 @@ void Task::ProcessDataRecord(net::Channel* channel, StreamElement& element) {
 void Task::ProcessRecordDirect(const StreamElement& record) {
   StreamElement copy = record;
   DRRS_AUDIT_CALL(sim_->auditor(), OnRecordProcessed(copy, op_, id_));
+  DRRS_TRACE_CALL(sim_->tracer(),
+                  OnRecordProcessed(id_, op_, spec_.record_cost));
   CheckRecordInvariants(copy);
   busy_until_ = std::max(busy_until_, sim_->now()) + spec_.record_cost;
   busy_time_ += spec_.record_cost;

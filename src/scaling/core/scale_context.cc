@@ -1,6 +1,7 @@
 #include "scaling/core/scale_context.h"
 
 #include "common/logging.h"
+#include "trace/trace_hooks.h"
 #include "verify/audit_hooks.h"
 
 namespace drrs::scaling {
@@ -11,6 +12,7 @@ dataflow::ScaleId ScaleContext::BeginScale() {
   active_ = true;
   hub_->scaling().RecordScaleStart(graph_->sim()->now());
   DRRS_AUDIT_CALL(graph_->sim()->auditor(), OnScaleBegin(id));
+  DRRS_TRACE_CALL(graph_->sim()->tracer(), OnScaleBegin(id));
   return id;
 }
 
@@ -22,11 +24,15 @@ void ScaleContext::AttachHook(runtime::Task* task, runtime::TaskHook* hook) {
 void ScaleContext::OpenSubscale(dataflow::SubscaleId id) {
   DRRS_AUDIT_CALL(graph_->sim()->auditor(),
                   OnSubscaleOpen(session_.scale(), id));
+  DRRS_TRACE_CALL(graph_->sim()->tracer(),
+                  OnSubscaleOpen(session_.scale(), id));
   open_subscales_.insert(id);
 }
 
 void ScaleContext::CloseSubscale(dataflow::SubscaleId id) {
   DRRS_AUDIT_CALL(graph_->sim()->auditor(),
+                  OnSubscaleClose(session_.scale(), id));
+  DRRS_TRACE_CALL(graph_->sim()->tracer(),
                   OnSubscaleClose(session_.scale(), id));
   open_subscales_.erase(id);
 }
@@ -38,6 +44,7 @@ size_t ScaleContext::ForceCompleteTransfers() {
 
 bool ScaleContext::AbortActiveScale() {
   if (!active_) return false;
+  DRRS_TRACE_CALL(graph_->sim()->tracer(), OnScaleAborted(session_.scale()));
   // Close subscales on a copy: CloseSubscale mutates open_subscales_.
   std::set<dataflow::SubscaleId> open = open_subscales_;
   for (dataflow::SubscaleId id : open) CloseSubscale(id);
@@ -64,6 +71,7 @@ void ScaleContext::EndScale() {
         << " still in transit at completion";
   }
   hub_->scaling().RecordScaleEnd(graph_->sim()->now());
+  DRRS_TRACE_CALL(graph_->sim()->tracer(), OnScaleEnd(session_.scale()));
   for (runtime::Task* t : hooked_) {
     t->set_hook(nullptr);
     t->WakeUp();

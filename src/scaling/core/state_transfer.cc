@@ -5,6 +5,7 @@
 
 #include "common/logging.h"
 #include "runtime/execution_graph.h"
+#include "trace/trace_hooks.h"
 #include "verify/audit_hooks.h"
 
 namespace drrs::scaling {
@@ -37,6 +38,8 @@ uint64_t StateTransfer::Enqueue(runtime::Task* from, net::Channel* rail,
   transit.to = rail->receiver_id();
   DRRS_AUDIT_CALL(sim_->auditor(),
                   OnChunkEnqueued(chunk, from->id(), rail->receiver_id()));
+  DRRS_TRACE_CALL(sim_->tracer(),
+                  OnChunkEnqueued(id, chunk, from->id(), rail->receiver_id()));
   if (priority) {
     rail->PushPriority(std::move(chunk));
   } else {
@@ -93,6 +96,7 @@ void StateTransfer::OnAckTimeout(uint64_t id) {
   ++transit.attempts;
   if (hub_ != nullptr) ++hub_->recovery().chunk_retransmits;
   DRRS_AUDIT_CALL(sim_->auditor(), OnChunkRetransmitted(id));
+  DRRS_TRACE_CALL(sim_->tracer(), OnChunkRetransmitted(id, transit.attempts));
   // Priority re-send: the retransmission must not queue behind a backlog
   // that already overtook the lost chunk once.
   transit.rail->PushPriority(transit.chunk);
@@ -176,6 +180,8 @@ bool StateTransfer::Install(runtime::Task* to, const StreamElement& chunk) {
   }
   if (policy_.enabled) installed_.insert(chunk.seq);
   DRRS_AUDIT_CALL(to->simulator()->auditor(), OnChunkInstalled(chunk, to->id()));
+  DRRS_TRACE_CALL(to->simulator()->tracer(),
+                  OnChunkInstalled(chunk.seq, to->id()));
   return true;
 }
 
@@ -210,6 +216,8 @@ size_t StateTransfer::ForceComplete(dataflow::ScaleId scale,
     if (hub != nullptr) ++hub->recovery().forced_chunk_installs;
     DRRS_AUDIT_CALL(sim_ != nullptr ? sim_->auditor() : nullptr,
                     OnChunkForceInstalled(id, transit.to));
+    DRRS_TRACE_CALL(sim_ != nullptr ? sim_->tracer() : nullptr,
+                    OnChunkForceInstalled(id, transit.to));
     to->WakeUp();
   }
   return installed;
@@ -219,6 +227,8 @@ void StateTransfer::AbortScale(dataflow::ScaleId scale) {
   for (auto it = in_transit_.begin(); it != in_transit_.end();) {
     if (it->second.scale == scale) {
       DRRS_AUDIT_CALL(sim_ != nullptr ? sim_->auditor() : nullptr,
+                      OnChunkAborted(it->first));
+      DRRS_TRACE_CALL(sim_ != nullptr ? sim_->tracer() : nullptr,
                       OnChunkAborted(it->first));
       aborted_.insert(it->first);
       it = in_transit_.erase(it);

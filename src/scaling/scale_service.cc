@@ -5,6 +5,7 @@
 
 #include "common/logging.h"
 #include "scaling/meces.h"
+#include "trace/trace_hooks.h"
 #include "scaling/otfs.h"
 #include "scaling/planner.h"
 #include "scaling/unbound.h"
@@ -178,6 +179,13 @@ void ScaleService::OnDeadline(dataflow::OperatorId op, uint64_t epoch) {
     // still runs so the job returns to quiescent ownership (roll-forward
     // leaves the planned assignment in place).
     ++recovery.scale_cancellations;
+    DRRS_TRACE_CALL(graph_->sim()->tracer(),
+                    OnScaleWatchdog(op, w.attempts, /*cancelled=*/true));
+    DRRS_TRACE_ONLY({
+      if (trace::Tracer* t = graph_->sim()->tracer()) {
+        t->DumpFlightRecorder("scale cancelled: deadline budget exhausted");
+      }
+    });
     DRRS_LOG(Error) << "scale-retry: cancelling rescale of operator " << op
                     << " to parallelism " << w.target << " after "
                     << w.attempts << " aborted attempt(s): "
@@ -189,6 +197,13 @@ void ScaleService::OnDeadline(dataflow::OperatorId op, uint64_t epoch) {
   ++w.attempts;
   uint32_t attempt = w.attempts;
   ++recovery.scale_aborts;
+  DRRS_TRACE_CALL(graph_->sim()->tracer(),
+                  OnScaleWatchdog(op, attempt, /*cancelled=*/false));
+  DRRS_TRACE_ONLY({
+    if (trace::Tracer* t = graph_->sim()->tracer()) {
+      t->DumpFlightRecorder("scale aborted: missed progress deadline");
+    }
+  });
   DRRS_LOG(Warn) << "scale-retry: operator " << op
                  << " missed its progress deadline, aborting (attempt "
                  << attempt << "/" << options_.retry.max_attempts << ")";

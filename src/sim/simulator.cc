@@ -4,6 +4,8 @@
 #include <utility>
 
 #include "common/logging.h"
+#include "trace/trace_hooks.h"
+#include "trace/tracer.h"
 #include "verify/auditor.h"
 
 namespace drrs::sim {
@@ -12,6 +14,11 @@ void Simulator::set_auditor(verify::Auditor* auditor) {
   auditor_ = auditor;
   queue_.set_auditor(auditor);
   if (auditor != nullptr) auditor->AttachSimulator(this);
+}
+
+void Simulator::set_tracer(trace::Tracer* tracer) {
+  tracer_ = tracer;
+  if (tracer != nullptr) tracer->AttachSimulator(this);
 }
 
 void Simulator::ScheduleAt(SimTime at, EventQueue::Callback cb) {
@@ -32,6 +39,7 @@ uint64_t Simulator::RunUntil(SimTime horizon) {
     cb();
     ++n;
     ++executed_;
+    DRRS_TRACE_CALL(tracer_, OnEventExecuted(now_, queue_.size()));
   }
   // The clock does not advance past the last executed event; callers that
   // want now() == horizon after a quiet period schedule a sentinel event.
@@ -44,6 +52,7 @@ bool Simulator::Step() {
   now_ = queue_.Pop(&cb);
   cb();
   ++executed_;
+  DRRS_TRACE_CALL(tracer_, OnEventExecuted(now_, queue_.size()));
   return true;
 }
 

@@ -15,6 +15,10 @@ namespace drrs::net {
 class FaultPlane;
 }  // namespace drrs::net
 
+namespace drrs::trace {
+class Tracer;
+}  // namespace drrs::trace
+
 namespace drrs::sim {
 
 /// \brief Discrete-event simulation driver.
@@ -61,6 +65,12 @@ class Simulator {
   void set_fault_plane(net::FaultPlane* plane) { fault_plane_ = plane; }
   net::FaultPlane* fault_plane() const { return fault_plane_; }
 
+  /// Install (or clear, with nullptr) the structured tracer. Like the
+  /// auditor, the member exists in every build so layout is identical, but
+  /// hook sites that read it only exist in DRRS_TRACE builds (trace_hooks.h).
+  void set_tracer(trace::Tracer* tracer);
+  trace::Tracer* tracer() const { return tracer_; }
+
   /// Cancelled periodic events that still fired (as no-ops). A cancelled
   /// PeriodicProcess leaves its already-armed event in the queue by design;
   /// this counter makes the "leak" observable, mirroring
@@ -74,6 +84,7 @@ class Simulator {
   EventQueue queue_;
   verify::Auditor* auditor_ = nullptr;
   net::FaultPlane* fault_plane_ = nullptr;
+  trace::Tracer* tracer_ = nullptr;
   uint64_t cancelled_fires_ = 0;
 };
 

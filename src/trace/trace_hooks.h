@@ -1,0 +1,40 @@
+#ifndef DRRS_TRACE_TRACE_HOOKS_H_
+#define DRRS_TRACE_TRACE_HOOKS_H_
+
+/// Hook-site glue for the structured tracer (see trace/tracer.h).
+///
+/// `DRRS_TRACE` is defined to 1 by the CMake option of the same name. The
+/// Tracer *class* is compiled in every build (its unit tests always run);
+/// only these hot-path call sites vanish when the option is off, so the
+/// non-trace engine carries zero tracing cost and produces bit-identical
+/// output. This mirrors the DRRS_AUDIT pattern (verify/audit_hooks.h).
+#ifndef DRRS_TRACE
+#define DRRS_TRACE 0
+#endif
+
+#if DRRS_TRACE
+
+#include "trace/tracer.h"
+
+/// Invoke `call` (a Tracer member call, e.g. `OnScaleBegin(id)`) on the
+/// tracer yielded by `tracer_expr` when one is installed.
+#define DRRS_TRACE_CALL(tracer_expr, call)                \
+  do {                                                    \
+    ::drrs::trace::Tracer* drrs_trace_t = (tracer_expr);  \
+    if (drrs_trace_t != nullptr) drrs_trace_t->call;      \
+  } while (0)
+
+/// Emit `stmt` only in trace builds (for glue that is not a single call).
+#define DRRS_TRACE_ONLY(stmt) stmt
+
+#else
+
+#define DRRS_TRACE_CALL(tracer_expr, call) \
+  do {                                     \
+  } while (0)
+
+#define DRRS_TRACE_ONLY(stmt)
+
+#endif  // DRRS_TRACE
+
+#endif  // DRRS_TRACE_TRACE_HOOKS_H_

@@ -84,6 +84,7 @@ void Auditor::AddViolation(AuditCheck check, std::string message) {
   DRRS_LOG(Error) << "audit[" << AuditCheckName(check) << "] t=" << Now()
                   << ": " << message;
   violations_.push_back(Violation{check, Now(), std::move(message)});
+  if (on_violation_) on_violation_(violations_.back());
 }
 
 Auditor::RecordInfo* Auditor::TrackedRecord(uint64_t audit_id) {

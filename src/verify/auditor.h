@@ -2,6 +2,7 @@
 #define DRRS_VERIFY_AUDITOR_H_
 
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <set>
 #include <string>
@@ -114,6 +115,13 @@ class Auditor {
 
   /// Called by Simulator::set_auditor so diagnostics carry sim time.
   void AttachSimulator(const sim::Simulator* sim) { sim_ = sim; }
+
+  /// Observer invoked on every recorded violation (not on dropped ones).
+  /// The harness uses it to dump the tracer's flight recorder so a failure
+  /// carries its immediate event history.
+  void set_on_violation(std::function<void(const Violation&)> cb) {
+    on_violation_ = std::move(cb);
+  }
 
   // ---- channel hooks (net::Channel) ----
 
@@ -239,6 +247,7 @@ class Auditor {
 
   Options options_;
   const sim::Simulator* sim_ = nullptr;
+  std::function<void(const Violation&)> on_violation_;
 
   std::vector<Violation> violations_;
   uint64_t dropped_ = 0;

@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include "metrics/histogram.h"
 #include "metrics/metrics_hub.h"
 #include "metrics/timeseries.h"
 
@@ -46,6 +47,65 @@ TEST(TimeSeries, BucketedMean) {
   ASSERT_EQ(buckets.size(), 2u);
   EXPECT_DOUBLE_EQ(buckets[0].value, 2.0);   // mean of 1,3
   EXPECT_DOUBLE_EQ(buckets[1].value, 10.0);
+}
+
+TEST(TimeSeries, StatsInMatchesScalarAggregates) {
+  TimeSeries ts;
+  ts.Push(10, 4.0);
+  ts.Push(20, 1.0);
+  ts.Push(30, 7.0);
+  auto stats = ts.StatsIn(0, 100);
+  EXPECT_EQ(stats.count, 3u);
+  EXPECT_DOUBLE_EQ(stats.min, 1.0);
+  EXPECT_DOUBLE_EQ(stats.max, ts.MaxIn(0, 100));
+  EXPECT_DOUBLE_EQ(stats.sum, 12.0);
+  EXPECT_DOUBLE_EQ(stats.mean(), ts.MeanIn(0, 100));
+  // Bounds are inclusive, like MaxIn/MeanIn.
+  EXPECT_EQ(ts.StatsIn(20, 20).count, 1u);
+  // Empty window: everything reads 0.
+  auto empty = ts.StatsIn(40, 100);
+  EXPECT_EQ(empty.count, 0u);
+  EXPECT_DOUBLE_EQ(empty.min, 0.0);
+  EXPECT_DOUBLE_EQ(empty.max, 0.0);
+  EXPECT_DOUBLE_EQ(empty.mean(), 0.0);
+}
+
+TEST(TimeSeries, MeanAbsDeviation) {
+  TimeSeries ts;
+  ts.Push(10, 8.0);   // |8-10| = 2
+  ts.Push(20, 13.0);  // |13-10| = 3
+  ts.Push(30, 10.0);  // 0
+  EXPECT_DOUBLE_EQ(ts.MeanAbsDeviationIn(10.0, 0, 100), 5.0 / 3.0);
+  EXPECT_DOUBLE_EQ(ts.MeanAbsDeviationIn(10.0, 25, 100), 0.0);
+  EXPECT_DOUBLE_EQ(ts.MeanAbsDeviationIn(10.0, 40, 100), 0.0);  // empty
+}
+
+TEST(TimeSeries, WindowsPartitionTheRange) {
+  TimeSeries ts;
+  ts.Push(0, 1.0);
+  ts.Push(40, 3.0);
+  ts.Push(100, 5.0);
+  ts.Push(260, 7.0);  // window [200,300) — window [100,200) has one sample
+  auto windows = ts.Windows(0, 1000, 100);
+  ASSERT_EQ(windows.size(), 3u);
+  EXPECT_EQ(windows[0].start, 0);
+  EXPECT_EQ(windows[0].stats.count, 2u);
+  EXPECT_DOUBLE_EQ(windows[0].stats.mean(), 2.0);
+  EXPECT_DOUBLE_EQ(windows[0].stats.max, 3.0);
+  EXPECT_EQ(windows[1].start, 100);
+  EXPECT_EQ(windows[1].stats.count, 1u);
+  EXPECT_EQ(windows[2].start, 200);
+  EXPECT_DOUBLE_EQ(windows[2].stats.min, 7.0);
+}
+
+TEST(TimeSeries, WindowsAlignToBegin) {
+  TimeSeries ts;
+  ts.Push(150, 2.0);
+  auto windows = ts.Windows(50, 1000, 100);  // windows anchored at 50
+  ASSERT_EQ(windows.size(), 1u);
+  EXPECT_EQ(windows[0].start, 150);  // [150, 250)
+  EXPECT_TRUE(ts.Windows(0, 1000, 0).empty());     // degenerate width
+  EXPECT_TRUE(ts.Windows(1000, 0, 100).empty());   // inverted range
 }
 
 TEST(TimeSeries, BucketedMax) {
@@ -120,6 +180,126 @@ TEST(ScalingMetrics, ZeroLengthStallsIgnored) {
   ScalingMetrics sm;
   sm.RecordStall(StallReason::kAwaitingState, 100, 100);
   EXPECT_EQ(sm.CumulativeSuspension(), 0);
+}
+
+// Regression (ISSUE PR-5): stall accounting is pure interval summation.
+// Overlapping and adjacent stalls from different subtasks each contribute
+// their full duration — RecordStall does not merge intervals, matching the
+// paper's per-instance L_s definition.
+TEST(ScalingMetrics, OverlappingStallsSumPerReason) {
+  ScalingMetrics sm;
+  sm.RecordStall(StallReason::kAwaitingState, 100, 200);  // 100
+  sm.RecordStall(StallReason::kAwaitingState, 150, 250);  // overlaps: +100
+  sm.RecordStall(StallReason::kAlignment, 250, 300);      // adjacent: +50
+  EXPECT_EQ(sm.CumulativeSuspension(), 250);
+  // One SuspensionSeries point per recorded stall, cumulative in ms.
+  TimeSeries series = sm.SuspensionSeries();
+  ASSERT_EQ(series.size(), 3u);
+  EXPECT_DOUBLE_EQ(series.samples()[0].value, 0.1);
+  EXPECT_DOUBLE_EQ(series.samples()[2].value, 0.25);
+}
+
+TEST(ScalingMetrics, NegativeAndZeroStallsIgnoredEverywhere) {
+  ScalingMetrics sm;
+  sm.RecordStall(StallReason::kAwaitingState, 100, 100);  // zero length
+  sm.RecordStall(StallReason::kAlignment, 200, 150);      // end < begin
+  sm.RecordStall(StallReason::kBackpressure, 300, 300);
+  EXPECT_EQ(sm.CumulativeSuspension(), 0);
+  EXPECT_EQ(sm.BackpressureTime(), 0);
+  EXPECT_EQ(sm.SuspensionSeries().size(), 0u);
+  EXPECT_EQ(sm.StallHistogram(StallReason::kAwaitingState).count(), 0u);
+  EXPECT_EQ(sm.StallHistogram(StallReason::kAlignment).count(), 0u);
+}
+
+// Regression (ISSUE PR-5): backpressure stalls are charged to
+// BackpressureTime only — they must never leak into the paper's L_s
+// (CumulativeSuspension) or its time series, because backpressure exists in
+// steady state and is not a scaling cost.
+TEST(ScalingMetrics, BackpressureExcludedFromSuspension) {
+  ScalingMetrics sm;
+  sm.RecordStall(StallReason::kBackpressure, 0, 500);
+  sm.RecordStall(StallReason::kBackpressure, 600, 700);
+  sm.RecordStall(StallReason::kAwaitingState, 1000, 1100);
+  EXPECT_EQ(sm.BackpressureTime(), 600);
+  EXPECT_EQ(sm.CumulativeSuspension(), 100);
+  TimeSeries series = sm.SuspensionSeries();
+  ASSERT_EQ(series.size(), 1u);  // only the awaiting-state stall
+  EXPECT_EQ(series.samples()[0].time, 1100);
+}
+
+TEST(ScalingMetrics, StallHistogramsFedPerReason) {
+  ScalingMetrics sm;
+  sm.RecordStall(StallReason::kAwaitingState, 0, sim::Millis(10));
+  sm.RecordStall(StallReason::kAwaitingState, 0, sim::Millis(30));
+  sm.RecordStall(StallReason::kBackpressure, 0, sim::Millis(500));
+  EXPECT_EQ(sm.StallHistogram(StallReason::kAwaitingState).count(), 2u);
+  EXPECT_EQ(sm.StallHistogram(StallReason::kAlignment).count(), 0u);
+  // Backpressure still gets a distribution even though it is excluded from
+  // the L_s aggregate.
+  EXPECT_EQ(sm.StallHistogram(StallReason::kBackpressure).count(), 1u);
+  EXPECT_NEAR(sm.StallHistogram(StallReason::kAwaitingState).mean(), 20.0,
+              1.5);
+}
+
+// ---------------------------------------------------------------------------
+// LogHistogram
+// ---------------------------------------------------------------------------
+
+TEST(LogHistogram, EmptyReadsZero) {
+  LogHistogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_DOUBLE_EQ(h.min(), 0.0);
+  EXPECT_DOUBLE_EQ(h.max(), 0.0);
+  EXPECT_DOUBLE_EQ(h.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(h.Quantile(0.5), 0.0);
+}
+
+TEST(LogHistogram, ExactMomentsApproximateQuantiles) {
+  LogHistogram h;
+  for (int i = 1; i <= 1000; ++i) h.Record(i);
+  EXPECT_EQ(h.count(), 1000u);
+  EXPECT_DOUBLE_EQ(h.min(), 1.0);
+  EXPECT_DOUBLE_EQ(h.max(), 1000.0);
+  EXPECT_DOUBLE_EQ(h.mean(), 500.5);  // sum/count is exact
+  // Log-bucketed quantiles carry ~6% relative error.
+  EXPECT_NEAR(h.Quantile(0.5), 500.0, 500.0 * 0.08);
+  EXPECT_NEAR(h.Quantile(0.99), 990.0, 990.0 * 0.08);
+  auto s = h.Summarize();
+  EXPECT_EQ(s.count, 1000u);
+  EXPECT_DOUBLE_EQ(s.max, 1000.0);
+  EXPECT_LE(s.p50, s.p90);
+  EXPECT_LE(s.p90, s.p99);
+  EXPECT_LE(s.p99, s.p999);
+  EXPECT_LE(s.p999, s.max);
+}
+
+TEST(LogHistogram, QuantilesClampToObservedRange) {
+  LogHistogram h;
+  h.Record(42.0);
+  EXPECT_DOUBLE_EQ(h.Quantile(0.0), 42.0);
+  EXPECT_DOUBLE_EQ(h.Quantile(0.5), 42.0);
+  EXPECT_DOUBLE_EQ(h.Quantile(1.0), 42.0);
+}
+
+TEST(LogHistogram, HandlesExtremesWithoutOverflow) {
+  LogHistogram h;
+  h.Record(0.0);
+  h.Record(-5.0);    // clamped into the smallest bucket
+  h.Record(1e30);    // far beyond kMaxExp's octave midpoint
+  h.Record(1e-12);   // below the resolution floor
+  EXPECT_EQ(h.count(), 4u);
+  EXPECT_DOUBLE_EQ(h.max(), 1e30);
+  EXPECT_LE(h.Quantile(1.0), 1e30);
+}
+
+TEST(MetricsHub, LatencyHistogramTracksMarkers) {
+  MetricsHub hub;
+  hub.RecordMarkerLatency(sim::Millis(150), sim::Millis(100));  // 50 ms
+  hub.RecordMarkerLatency(sim::Millis(300), sim::Millis(100));  // 200 ms
+  EXPECT_EQ(hub.latency_histogram().count(), 2u);
+  EXPECT_DOUBLE_EQ(hub.latency_histogram().mean(), 125.0);
+  // The exact series is untouched by the histogram feed.
+  EXPECT_EQ(hub.latency_ms().size(), 2u);
 }
 
 TEST(ScalingMetrics, UnitTransferStats) {

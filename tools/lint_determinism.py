@@ -36,7 +36,13 @@ import os
 import re
 import sys
 
-DECISION_PATH_DIRS = ("src/sim", "src/scaling", "src/runtime", "src/fault")
+DECISION_PATH_DIRS = (
+    "src/sim",
+    "src/scaling",
+    "src/runtime",
+    "src/fault",
+    "src/trace",
+)
 CXX_EXTENSIONS = (".h", ".cc", ".cpp", ".hpp")
 
 # ---- rule 1: wall clock ----------------------------------------------------

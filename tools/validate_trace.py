@@ -1,0 +1,152 @@
+#!/usr/bin/env python3
+"""Validate a DRRS trace export against tools/trace_schema.json.
+
+Checks that a file written by trace::Tracer::ExportJson (or a flight-recorder
+dump) is well-formed JSON, carries the expected top-level sidecar keys, and
+that every trace event has the fields its phase requires — i.e. that the
+hand-rolled C++ emitter keeps producing documents Perfetto can load. Pure
+standard library; no third-party packages.
+
+Usage:
+    validate_trace.py trace.json [trace2.json ...]
+        [--require NAME ...]   # event names that must appear at least once
+        [--min-events N]       # minimum non-metadata event count
+        [--schema PATH]        # defaults to trace_schema.json next to this file
+
+Exit status: 0 valid, 1 findings, 2 usage/IO error.
+"""
+
+import argparse
+import json
+import os
+import sys
+
+
+def load_schema(path):
+    with open(path, "r", encoding="utf-8") as f:
+        return json.load(f)
+
+
+def check_histograms(histograms, schema, findings, where):
+    for key in schema["histograms_required"]:
+        if key not in histograms:
+            findings.append(f"{where}: drrsHistograms missing '{key}'")
+
+    def check_summary(name, summary):
+        if not isinstance(summary, dict):
+            findings.append(f"{where}: histogram '{name}' is not an object")
+            return
+        for k in schema["histogram_summary_keys"]:
+            if k not in summary:
+                findings.append(f"{where}: histogram '{name}' missing '{k}'")
+            elif not isinstance(summary[k], (int, float)):
+                findings.append(
+                    f"{where}: histogram '{name}' field '{k}' is not numeric")
+
+    if isinstance(histograms.get("chunk_flight_ms"), dict):
+        check_summary("chunk_flight_ms", histograms["chunk_flight_ms"])
+    for op, summary in histograms.get("stall_ms_by_operator", {}).items():
+        check_summary(f"stall_ms_by_operator[{op}]", summary)
+
+
+def validate(path, schema, require, min_events, findings):
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        findings.append(f"{path}: unreadable or invalid JSON: {e}")
+        return
+
+    if not isinstance(doc, dict):
+        findings.append(f"{path}: top level is not an object")
+        return
+    for key in schema["top_level_required"]:
+        if key not in doc:
+            findings.append(f"{path}: missing top-level key '{key}'")
+    if doc.get("displayTimeUnit") != schema["display_time_unit"]:
+        findings.append(
+            f"{path}: displayTimeUnit is {doc.get('displayTimeUnit')!r}, "
+            f"expected {schema['display_time_unit']!r}")
+
+    events = doc.get("traceEvents", [])
+    if not isinstance(events, list):
+        findings.append(f"{path}: traceEvents is not an array")
+        return
+
+    phases = schema["phases"]
+    categories = set(schema["categories"])
+    seen_names = set()
+    non_meta = 0
+    for i, e in enumerate(events):
+        where = f"{path}: traceEvents[{i}]"
+        if not isinstance(e, dict):
+            findings.append(f"{where}: not an object")
+            continue
+        ph = e.get("ph")
+        if ph not in phases:
+            findings.append(f"{where}: unknown phase {ph!r}")
+            continue
+        for field in phases[ph]["required"]:
+            if field not in e:
+                findings.append(f"{where}: phase '{ph}' missing '{field}'")
+        if ph != "M":
+            non_meta += 1
+            seen_names.add(e.get("name"))
+            if e.get("cat") not in categories:
+                findings.append(f"{where}: unknown category {e.get('cat')!r}")
+            if not isinstance(e.get("ts"), int):
+                findings.append(f"{where}: ts is not an integer")
+        if ph == "X" and not isinstance(e.get("dur"), int):
+            findings.append(f"{where}: dur is not an integer")
+        if "args" in e and not isinstance(e["args"], dict):
+            findings.append(f"{where}: args is not an object")
+
+    if isinstance(doc.get("drrsHistograms"), dict):
+        check_histograms(doc["drrsHistograms"], schema, findings, path)
+    total = doc.get("drrsTotalEvents")
+    dropped = doc.get("drrsDroppedEvents")
+    if isinstance(total, int) and isinstance(dropped, int):
+        # The full log holds total - dropped events (the ring may hold fewer).
+        if "drrsFlightReason" not in doc and non_meta != total - dropped:
+            findings.append(
+                f"{path}: traceEvents has {non_meta} events but "
+                f"drrsTotalEvents - drrsDroppedEvents = {total - dropped}")
+
+    if non_meta < min_events:
+        findings.append(
+            f"{path}: only {non_meta} events, expected >= {min_events}")
+    for name in require:
+        if name not in seen_names:
+            findings.append(f"{path}: required event '{name}' never appears")
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("traces", nargs="+")
+    parser.add_argument("--require", action="append", default=[])
+    parser.add_argument("--min-events", type=int, default=1)
+    parser.add_argument(
+        "--schema",
+        default=os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                             "trace_schema.json"))
+    args = parser.parse_args()
+
+    try:
+        schema = load_schema(args.schema)
+    except (OSError, json.JSONDecodeError) as e:
+        print(f"validate_trace: cannot load schema: {e}", file=sys.stderr)
+        return 2
+
+    findings = []
+    for path in args.traces:
+        validate(path, schema, args.require, args.min_events, findings)
+    for f in findings:
+        print(f"validate_trace: {f}")
+    if findings:
+        return 1
+    print(f"validate_trace: OK ({len(args.traces)} file(s))")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
