@@ -30,7 +30,7 @@ BENCHMARK(BM_EventQueueScheduleRun);
 
 class NullReceiver : public net::ChannelReceiver {
  public:
-  void OnElementAvailable(net::Channel* ch) override {
+  void OnBatchAvailable(net::Channel* ch, size_t /*appended*/) override {
     // Consume immediately: keeps the credit window open.
     while (ch->HasInput()) ch->PopInput();
   }

@@ -6,6 +6,7 @@
 // counted via a global operator-new override) are printed and written to
 // BENCH_engine.json so subsequent PRs can track the perf trajectory.
 
+#include <array>
 #include <atomic>
 #include <chrono>
 #include <cstdint>
@@ -110,7 +111,7 @@ BenchResult BenchEventSchedule() {
 // -- 2. channel record path: transmit/deliver with immediate consumption ----
 class DrainingReceiver : public net::ChannelReceiver {
  public:
-  void OnElementAvailable(net::Channel* ch) override {
+  void OnBatchAvailable(net::Channel* ch, size_t /*appended*/) override {
     while (ch->HasInput()) {
       consumed_ += ch->PopInput().value >= 0 ? 1 : 0;
     }
@@ -140,6 +141,59 @@ BenchResult BenchChannelRecords() {
     }
     if (receiver.consumed() != kBatches * kBatch) std::abort();
   });
+}
+
+// -- 2b. batched delivery: bursty pushes that coalesce on the wire ----------
+// Pushes arrive in bursts faster than the wire drains them, so consecutive
+// wire entries come due together and DeliverDueBatch hands them to the
+// receiver as multi-record batches. Prints the batch-size distribution
+// (log2 buckets) so regressions in coalescing are visible, not just raw rate.
+BenchResult BenchBatchRecords(std::string* batch_hist_json) {
+  constexpr uint64_t kBursts = 4000;
+  constexpr uint64_t kBurst = 128;
+  uint64_t batches = 0;
+  uint64_t max_batch = 0;
+  std::array<uint64_t, 16> hist = {};
+  BenchResult r = RunBench("batch_records", kBursts * kBurst, [&] {
+    sim::Simulator sim;
+    DrainingReceiver receiver;
+    net::NetworkConfig nc;
+    nc.base_latency = sim::Micros(50);  // burst lands inside one wire window
+    net::Channel ch(&sim, nc, 0, 1, &receiver);
+    for (uint64_t b = 0; b < kBursts; ++b) {
+      for (uint64_t i = 0; i < kBurst; ++i) {
+        ch.Push(dataflow::MakeRecord(i, static_cast<int64_t>(i),
+                                     static_cast<sim::SimTime>(b),
+                                     static_cast<sim::SimTime>(b), 100));
+      }
+      sim.RunUntilIdle();
+    }
+    if (receiver.consumed() != kBursts * kBurst) std::abort();
+    batches = ch.delivered_batches();
+    max_batch = ch.max_batch_size();
+    hist = ch.batch_size_log2_hist();
+  });
+  double mean = batches > 0 ? static_cast<double>(r.items) / batches : 0;
+  std::printf("    batches=%lu mean_size=%.1f max_size=%lu  log2 hist:",
+              static_cast<unsigned long>(batches), mean,
+              static_cast<unsigned long>(max_batch));
+  char buf[512];
+  int n = std::snprintf(buf, sizeof(buf),
+                        "{\"batches\": %lu, \"mean_size\": %.2f, "
+                        "\"max_size\": %lu, \"log2_hist\": [",
+                        static_cast<unsigned long>(batches), mean,
+                        static_cast<unsigned long>(max_batch));
+  for (size_t k = 0; k < hist.size(); ++k) {
+    if (hist[k] > 0) {
+      std::printf(" [2^%zu]=%lu", k, static_cast<unsigned long>(hist[k]));
+    }
+    n += std::snprintf(buf + n, sizeof(buf) - n, "%s%lu", k > 0 ? ", " : "",
+                       static_cast<unsigned long>(hist[k]));
+  }
+  std::snprintf(buf + n, sizeof(buf) - n, "]}");
+  std::printf("\n");
+  *batch_hist_json = buf;
+  return r;
 }
 
 // -- 3. end-to-end record path through a full pipeline (no scaling) ---------
@@ -198,13 +252,15 @@ BenchResult BenchStateAccounting() {
   });
 }
 
-bool WriteJson(const std::vector<BenchResult>& results, const char* path) {
+bool WriteJson(const std::vector<BenchResult>& results,
+               const std::string& batch_hist_json, const char* path) {
   std::FILE* f = std::fopen(path, "w");
   if (f == nullptr) {
     std::fprintf(stderr, "cannot open %s\n", path);
     return false;
   }
   std::fprintf(f, "{\n  \"bench\": \"bench_event_engine\",\n");
+  std::fprintf(f, "  \"batch_delivery\": %s,\n", batch_hist_json.c_str());
   std::fprintf(f, "  \"results\": {\n");
   for (size_t i = 0; i < results.size(); ++i) {
     const BenchResult& r = results[i];
@@ -225,11 +281,13 @@ bool WriteJson(const std::vector<BenchResult>& results, const char* path) {
 int Main(int argc, char** argv) {
   const char* out = argc > 1 ? argv[1] : "BENCH_engine.json";
   std::vector<BenchResult> results;
+  std::string batch_hist_json;
   results.push_back(BenchEventSchedule());
   results.push_back(BenchChannelRecords());
+  results.push_back(BenchBatchRecords(&batch_hist_json));
   results.push_back(BenchPipeline());
   results.push_back(BenchStateAccounting());
-  return WriteJson(results, out) ? 0 : 1;
+  return WriteJson(results, batch_hist_json, out) ? 0 : 1;
 }
 
 }  // namespace

@@ -225,6 +225,9 @@ ExperimentResult RunExperiment(const workloads::WorkloadSpec& workload,
   result.source_records = hub->source_rate().total();
   result.sink_records = hub->sink_rate().total();
   result.executed_events = sim.executed_events();
+  runtime::ExecutionGraph::DeliveryStats delivery = graph.TotalDeliveryStats();
+  result.delivered_elements = delivery.elements;
+  result.delivered_batches = delivery.batches;
   result.recovery = hub->recovery();
   result.hub = std::move(hub);
   return result;

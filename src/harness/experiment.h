@@ -114,6 +114,11 @@ struct ExperimentResult {
   uint64_t source_records = 0;
   uint64_t sink_records = 0;
   uint64_t executed_events = 0;
+  /// Wire-delivery totals across all channels: batched delivery compresses
+  /// `delivered_elements` records into `delivered_batches` receiver
+  /// notifications (batches <= elements; the ratio is the mean batch size).
+  uint64_t delivered_elements = 0;
+  uint64_t delivered_batches = 0;
 
   /// Fault/recovery counters of the run (all zero in fault-free runs).
   metrics::RecoveryMetrics recovery;

@@ -123,10 +123,19 @@ std::vector<Sample> TimeSeries::Bucketed(sim::SimTime bucket,
 
 void RateCounter::Add(sim::SimTime t, uint64_t n) {
   if (t < 0) t = 0;
+  // Hot path: simulated time moves (mostly) forward, so consecutive Adds
+  // usually land in the same bucket — skip the division while they do.
+  if (t >= cur_start_ && t - cur_start_ < width_) {
+    buckets_[cur_idx_] += n;
+    total_ += n;
+    return;
+  }
   size_t idx = static_cast<size_t>(t / width_);
   if (buckets_.size() <= idx) buckets_.resize(idx + 1, 0);
   buckets_[idx] += n;
   total_ += n;
+  cur_idx_ = idx;
+  cur_start_ = static_cast<sim::SimTime>(idx) * width_;
 }
 
 TimeSeries RateCounter::ToRateSeries() const {

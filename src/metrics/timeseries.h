@@ -87,6 +87,10 @@ class RateCounter {
   sim::SimTime width_;
   std::vector<uint64_t> buckets_;
   uint64_t total_ = 0;
+  // Last bucket hit; fast path for monotone (or same-bucket) Add streams.
+  // kSimTimeMax start forces the slow path on first use.
+  size_t cur_idx_ = 0;
+  sim::SimTime cur_start_ = sim::kSimTimeMax;
 };
 
 }  // namespace drrs::metrics

@@ -13,6 +13,17 @@ namespace drrs::net {
 
 using dataflow::StreamElement;
 
+namespace {
+size_t Log2Bucket(size_t n) {
+  size_t b = 0;
+  while (n > 1 && b < 15) {
+    n >>= 1;
+    ++b;
+  }
+  return b;
+}
+}  // namespace
+
 Channel::Channel(sim::Simulator* sim, const NetworkConfig& config,
                  dataflow::InstanceId sender, dataflow::InstanceId receiver,
                  ChannelReceiver* receiver_task)
@@ -23,6 +34,10 @@ Channel::Channel(sim::Simulator* sim, const NetworkConfig& config,
       receiver_task_(receiver_task) {
   DRRS_CHECK(receiver_task_ != nullptr);
   DRRS_CHECK(config_.bandwidth_bytes_per_us > 0);
+  output_queue_.set_arena(sim_->arena());
+  input_queue_.set_arena(sim_->arena());
+  wire_.set_arena(sim_->arena());
+  bypass_.set_arena(sim_->arena());
 }
 
 void Channel::Push(StreamElement element) {
@@ -73,8 +88,7 @@ std::vector<StreamElement> Channel::ExtractFromOutput(
       output_queue_[w++] = std::move(e);
     }
   }
-  output_queue_.erase(output_queue_.begin() + static_cast<std::ptrdiff_t>(w),
-                      output_queue_.end());
+  output_queue_.truncate(w);
   DRRS_AUDIT_CALL(sim_->auditor(), OnElementsExtracted(extracted));
   MaybeFireDecongest();
   return extracted;
@@ -102,8 +116,7 @@ std::vector<StreamElement> Channel::ExtractFromOutputBefore(
       output_queue_[w++] = std::move(e);
     }
   }
-  output_queue_.erase(output_queue_.begin() + static_cast<std::ptrdiff_t>(w),
-                      output_queue_.end());
+  output_queue_.truncate(w);
   DRRS_AUDIT_CALL(sim_->auditor(), OnElementsExtracted(extracted));
   MaybeFireDecongest();
   return extracted;
@@ -112,9 +125,9 @@ std::vector<StreamElement> Channel::ExtractFromOutputBefore(
 bool Channel::InsertAfterFirst(
     const std::function<bool(const StreamElement&)>& match,
     StreamElement element) {
-  for (auto it = output_queue_.begin(); it != output_queue_.end(); ++it) {
-    if (match(*it)) {
-      output_queue_.insert(it + 1, std::move(element));
+  for (size_t i = 0; i < output_queue_.size(); ++i) {
+    if (match(output_queue_[i])) {
+      output_queue_.insert(i + 1, std::move(element));
       return true;
     }
   }
@@ -204,25 +217,59 @@ void Channel::TryTransmit() {
 void Channel::ArmWireEvent() {
   if (wire_event_armed_ || wire_.empty()) return;
   wire_event_armed_ = true;
-  sim_->ScheduleAt(wire_.front().arrival, [this] { FireWireEvent(); });
+  sim_->ScheduleRawAt(
+      wire_.front().arrival,
+      [](void* arg) { static_cast<Channel*>(arg)->FireWireEvent(); }, this);
 }
 
 void Channel::FireWireEvent() {
   // The armed flag stays set while draining so reentrant TryTransmit calls
   // (a receiver consuming synchronously releases credit) cannot double-arm.
+  // The outer loop re-checks after each batch: a synchronous consumer can
+  // release credit and admit fresh wire entries due at the same instant.
   while (!wire_.empty() && wire_.front().arrival <= sim_->now()) {
-    StreamElement e = std::move(wire_.front().element);
-    wire_.pop_front();
-    Deliver(std::move(e));
+    DeliverDueBatch();
   }
   wire_event_armed_ = false;
   ArmWireEvent();
 }
 
+void Channel::DeliverDueBatch() {
+  // RecordBatch flush: move the due prefix of the wire into the input cache
+  // element by element (audit, trace and stats stay per-record), then notify
+  // the receiver once for the whole batch.
+  const sim::SimTime now = sim_->now();
+  size_t batch = 0;
+  while (!wire_.empty() && wire_.front().arrival <= now) {
+    StreamElement e = std::move(wire_.front().element);
+    wire_.pop_front();
+    ++delivered_elements_;
+    delivered_bytes_ += e.WireBytes();
+    DRRS_AUDIT_CALL(sim_->auditor(),
+                    OnElementDelivered(e, wire_.size(),
+                                       input_queue_.size() + 1,
+                                       config_.input_buffer_capacity,
+                                       receiver_id_));
+    DRRS_TRACE_CALL(sim_->tracer(),
+                    OnElementDelivered(e, receiver_id_,
+                                       input_queue_.size() + 1));
+    input_queue_.push_back(std::move(e));
+    ++batch;
+  }
+  ++delivered_batches_;
+  max_batch_size_ = std::max<uint64_t>(max_batch_size_, batch);
+  ++batch_size_log2_hist_[Log2Bucket(batch)];
+  DRRS_TRACE_CALL(sim_->tracer(), OnBatchDelivered(receiver_id_, batch));
+  receiver_task_->OnBatchAvailable(this, batch);
+  // Note: we do not TryTransmit() here; credit was consumed, not released.
+}
+
 void Channel::ArmBypassEvent() {
   if (bypass_event_armed_ || bypass_.empty()) return;
   bypass_event_armed_ = true;
-  sim_->ScheduleAt(bypass_.front().arrival, [this] { FireBypassEvent(); });
+  sim_->ScheduleRawAt(
+      bypass_.front().arrival,
+      [](void* arg) { static_cast<Channel*>(arg)->FireBypassEvent(); }, this);
 }
 
 void Channel::FireBypassEvent() {
@@ -233,22 +280,6 @@ void Channel::FireBypassEvent() {
   }
   bypass_event_armed_ = false;
   ArmBypassEvent();
-}
-
-void Channel::Deliver(StreamElement element) {
-  ++delivered_elements_;
-  delivered_bytes_ += element.WireBytes();
-  DRRS_AUDIT_CALL(sim_->auditor(),
-                  OnElementDelivered(element, wire_.size(),
-                                     input_queue_.size() + 1,
-                                     config_.input_buffer_capacity,
-                                     receiver_id_));
-  DRRS_TRACE_CALL(sim_->tracer(),
-                  OnElementDelivered(element, receiver_id_,
-                                     input_queue_.size() + 1));
-  input_queue_.push_back(std::move(element));
-  receiver_task_->OnElementAvailable(this);
-  // Note: we do not TryTransmit() here; credit was consumed, not released.
 }
 
 void Channel::MaybeFireDecongest() {

@@ -1,12 +1,12 @@
 #ifndef DRRS_NET_CHANNEL_H_
 #define DRRS_NET_CHANNEL_H_
 
+#include <array>
 #include <cstdint>
-#include <deque>
 #include <functional>
 #include <vector>
 
-#include "common/ring_buffer.h"
+#include "common/ring_deque.h"
 #include "dataflow/stream_element.h"
 #include "sim/sim_time.h"
 #include "sim/simulator.h"
@@ -33,8 +33,12 @@ class ChannelReceiver {
  public:
   virtual ~ChannelReceiver() = default;
 
-  /// A new element was appended to the channel's input queue.
-  virtual void OnElementAvailable(Channel* channel) = 0;
+  /// A batch of `appended` elements was appended to the channel's input
+  /// queue in one wire-event flush (elements sharing a deliverable window
+  /// arrive together; `appended` is 1 for isolated arrivals). Per-element
+  /// semantics — barrier handling, fault interception, audit hooks — have
+  /// already run element by element on the delivery side.
+  virtual void OnBatchAvailable(Channel* channel, size_t appended) = 0;
 
   /// A bypass (priority) control message arrived, skipping both caches —
   /// the delivery path of DRRS trigger barriers (paper Section III-A).
@@ -56,8 +60,18 @@ class ChannelReceiver {
 /// * Transmission is credit-gated by the receiver's input-cache capacity;
 ///   a full output cache raises `congested()` which the sending task treats
 ///   as backpressure.
+///
+/// Delivery is *batched*: wire entries whose arrival times share a
+/// deliverable window (arrival <= now when the armed event fires) drain as
+/// one RecordBatch with a single receiver notification, so N same-instant
+/// records cost one simulator event instead of N. Conservation/FIFO audit
+/// hooks and fault interception still run per record. All queue storage
+/// (output cache, wire, input cache) lives in the simulator's arena: the
+/// steady-state path performs no heap allocation.
 class Channel {
  public:
+  using ElementQueue = RingDeque<dataflow::StreamElement>;
+
   Channel(sim::Simulator* sim, const NetworkConfig& config,
           dataflow::InstanceId sender, dataflow::InstanceId receiver,
           ChannelReceiver* receiver_task);
@@ -125,9 +139,7 @@ class Channel {
       const std::function<bool(const dataflow::StreamElement&)>& pred) const;
 
   size_t output_queue_size() const { return output_queue_.size(); }
-  const std::deque<dataflow::StreamElement>& output_queue() const {
-    return output_queue_;
-  }
+  const ElementQueue& output_queue() const { return output_queue_; }
   size_t in_flight() const { return wire_.size(); }
 
   // ---- receiver side ----
@@ -141,12 +153,8 @@ class Channel {
   /// Mutable access for intra-channel record scheduling (removing an element
   /// from the middle of the input cache). Caller must call
   /// `NotifyInputConsumed()` once per removed element to release credit.
-  std::deque<dataflow::StreamElement>* mutable_input_queue() {
-    return &input_queue_;
-  }
-  const std::deque<dataflow::StreamElement>& input_queue() const {
-    return input_queue_;
-  }
+  ElementQueue* mutable_input_queue() { return &input_queue_; }
+  const ElementQueue& input_queue() const { return input_queue_; }
   void NotifyInputConsumed();
 
   size_t input_queue_size() const { return input_queue_.size(); }
@@ -159,9 +167,26 @@ class Channel {
   /// the wire). Retry timers use it to size ack timeouts to the backlog.
   sim::SimTime link_free_at() const { return link_free_at_; }
 
+  // ---- barrier alignment (owned by the receiving task) ----
+
+  /// Alignment flag: while set, the receiving task's input handlers skip
+  /// this channel. Stored here (one flag per channel + a counter in the
+  /// task) so the per-record selection loop avoids a hash-set probe.
+  bool receiver_blocked() const { return receiver_blocked_; }
+  void set_receiver_blocked(bool v) { receiver_blocked_ = v; }
+
   // ---- stats ----
   uint64_t delivered_elements() const { return delivered_elements_; }
   uint64_t delivered_bytes() const { return delivered_bytes_; }
+  /// Number of wire-batch flushes (single receiver notifications); the mean
+  /// batch size is delivered_elements()/delivered_batches().
+  uint64_t delivered_batches() const { return delivered_batches_; }
+  uint64_t max_batch_size() const { return max_batch_size_; }
+  /// Histogram of batch sizes by floor(log2(size)): bucket 0 counts
+  /// singleton batches, bucket k counts sizes in [2^k, 2^(k+1)).
+  const std::array<uint64_t, 16>& batch_size_log2_hist() const {
+    return batch_size_log2_hist_;
+  }
 
  private:
   /// One element travelling the simulated wire (or the bypass path), tagged
@@ -173,7 +198,7 @@ class Channel {
   };
 
   void TryTransmit();
-  void Deliver(dataflow::StreamElement element);
+  void DeliverDueBatch();
   void MaybeFireDecongest();
   void ArmWireEvent();
   void FireWireEvent();
@@ -186,17 +211,16 @@ class Channel {
   dataflow::InstanceId receiver_id_;
   ChannelReceiver* receiver_task_;
 
-  std::deque<dataflow::StreamElement> output_queue_;
-  std::deque<dataflow::StreamElement> input_queue_;
+  ElementQueue output_queue_;
+  ElementQueue input_queue_;
   /// In-flight FIFO: elements that left the output cache, keyed by arrival
   /// time. At most ONE event per channel is armed in the simulator's global
-  /// queue (for the front entry); it re-arms itself after delivering. This
-  /// collapses the old one-heap-event-per-element scheme into O(1) amortized
-  /// queue work per element with no per-element closure allocation.
-  RingBuffer<WireEntry> wire_;
+  /// queue (for the front entry); it re-arms itself after delivering. The
+  /// due prefix drains as one batch with a single receiver notification.
+  RingDeque<WireEntry> wire_;
   bool wire_event_armed_ = false;
   /// Bypass-path FIFO (trigger barriers), same single-armed-event scheme.
-  RingBuffer<WireEntry> bypass_;
+  RingDeque<WireEntry> bypass_;
   bool bypass_event_armed_ = false;
   sim::SimTime link_free_at_ = 0;  ///< serializer availability (FIFO wire)
 
@@ -204,7 +228,11 @@ class Channel {
 
   uint64_t delivered_elements_ = 0;
   uint64_t delivered_bytes_ = 0;
+  uint64_t delivered_batches_ = 0;
+  uint64_t max_batch_size_ = 0;
+  std::array<uint64_t, 16> batch_size_log2_hist_ = {};
   bool scaling_path_ = false;
+  bool receiver_blocked_ = false;
   /// Set when the output cache hits capacity; cleared (with listeners fired)
   /// once it drains below half capacity.
   bool congestion_latched_ = false;

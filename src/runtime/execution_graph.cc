@@ -1,5 +1,6 @@
 #include "runtime/execution_graph.h"
 
+#include <algorithm>
 #include <utility>
 
 #include "common/logging.h"
@@ -199,6 +200,16 @@ net::Channel* ExecutionGraph::FindScalingChannel(dataflow::InstanceId from,
                                                  dataflow::InstanceId to) {
   auto it = scaling_channels_.find(std::make_pair(from, to));
   return it == scaling_channels_.end() ? nullptr : it->second;
+}
+
+ExecutionGraph::DeliveryStats ExecutionGraph::TotalDeliveryStats() const {
+  DeliveryStats stats;
+  for (const auto& ch : channels_) {
+    stats.elements += ch->delivered_elements();
+    stats.batches += ch->delivered_batches();
+    stats.max_batch = std::max(stats.max_batch, ch->max_batch_size());
+  }
+  return stats;
 }
 
 }  // namespace drrs::runtime

@@ -102,6 +102,17 @@ class ExecutionGraph {
   net::Channel* FindScalingChannel(dataflow::InstanceId from,
                                    dataflow::InstanceId to);
 
+  /// Aggregate wire-delivery statistics across every channel in the graph
+  /// (data channels and scaling channels alike). `batches <= elements`; the
+  /// gap is the work the batched delivery path saved — elements/batches is
+  /// the mean records per receiver notification.
+  struct DeliveryStats {
+    uint64_t elements = 0;
+    uint64_t batches = 0;
+    uint64_t max_batch = 0;
+  };
+  DeliveryStats TotalDeliveryStats() const;
+
   /// Registered by CheckpointCoordinator so dynamically added tasks are
   /// wired into checkpointing and strategies can defer around in-flight
   /// checkpoints (Section IV-C).

@@ -49,10 +49,14 @@ void SourceTask::RunOnce() {
   if (pending_arrival_ > now) {
     if (!arrival_wakeup_scheduled_) {
       arrival_wakeup_scheduled_ = true;
-      sim_->ScheduleAt(pending_arrival_, [this]() {
-        arrival_wakeup_scheduled_ = false;
-        MaybeSchedule();
-      });
+      sim_->ScheduleRawAt(
+          pending_arrival_,
+          [](void* arg) {
+            auto* self = static_cast<SourceTask*>(arg);
+            self->arrival_wakeup_scheduled_ = false;
+            self->MaybeSchedule();
+          },
+          this);
     }
     return;
   }

@@ -125,22 +125,29 @@ void Task::InitState(uint32_t num_key_groups) {
 
 void Task::InstallInputHandler(std::unique_ptr<InputHandler> handler) {
   input_handler_ = std::move(handler);
+  default_handler_ = false;
   suspend_memo_ = false;
   MaybeSchedule();
 }
 
 void Task::ResetInputHandler() {
   input_handler_ = MakeDefaultInputHandler();
+  default_handler_ = true;
   suspend_memo_ = false;
   MaybeSchedule();
 }
 
 void Task::BlockChannel(net::Channel* channel) {
-  blocked_channels_.insert(channel);
+  if (channel->receiver_blocked()) return;
+  channel->set_receiver_blocked(true);
+  ++blocked_count_;
 }
 
 void Task::UnblockChannel(net::Channel* channel) {
-  blocked_channels_.erase(channel);
+  if (channel->receiver_blocked()) {
+    channel->set_receiver_blocked(false);
+    --blocked_count_;
+  }
   suspend_memo_ = false;
   MaybeSchedule();
 }
@@ -168,7 +175,12 @@ void Task::Crash() {
   // Abandon an in-progress barrier alignment: the blocked channels must not
   // stay blocked across the restart (the coordinator's checkpoint simply
   // never completes).
-  for (net::Channel* ch : ckpt_received_) blocked_channels_.erase(ch);
+  for (net::Channel* ch : ckpt_received_) {
+    if (ch->receiver_blocked()) {
+      ch->set_receiver_blocked(false);
+      --blocked_count_;
+    }
+  }
   ckpt_active_ = false;
   ckpt_received_.clear();
   // Volatile state is gone; key-group ownership (the routing role) is not.
@@ -202,16 +214,22 @@ uint64_t Task::Recover(const std::vector<state::KeyGroupState>& snapshot) {
 
 sim::SimTime Task::now() const { return sim_->now(); }
 
-void Task::OnElementAvailable(net::Channel* channel) {
+void Task::OnBatchAvailable(net::Channel* channel, size_t appended) {
   if (suspend_memo_) {
-    // A previous pass found nothing processable. The freshly delivered tail
-    // element can only change that if it became a channel head, or if it
-    // sits within the lookahead window and is itself processable.
+    // A previous pass found nothing processable. A freshly delivered element
+    // can only change that if it became a channel head, or if it sits within
+    // the lookahead window and is itself processable. Scanning the appended
+    // batch in delivery order reproduces the per-element delivery semantics
+    // exactly (the first relevant element clears the memo; the rest of the
+    // batch then needs no checks, as repeated MaybeSchedule calls coalesce).
     const auto& queue = channel->input_queue();
-    const StreamElement& fresh = queue.back();
-    bool relevant = queue.size() == 1 ||
-                    (queue.size() <= 200 && !EagerlyConsumable(fresh) &&
-                     HeadProcessable(channel, fresh));
+    const size_t n = queue.size();
+    bool relevant = false;
+    for (size_t j = n - appended; j < n && !relevant; ++j) {
+      const StreamElement& fresh = queue[j];
+      relevant = j == 0 || (j < 200 && !EagerlyConsumable(fresh) &&
+                            HeadProcessable(channel, fresh));
+    }
     if (!relevant) return;
     suspend_memo_ = false;
   }
@@ -238,10 +256,14 @@ void Task::MaybeSchedule() {
   if (run_scheduled_ || frozen_ || crashed_) return;
   run_scheduled_ = true;
   sim::SimTime at = std::max(sim_->now(), busy_until_);
-  sim_->ScheduleAt(at, [this]() {
-    run_scheduled_ = false;
-    RunOnce();
-  });
+  sim_->ScheduleRawAt(
+      at,
+      [](void* arg) {
+        auto* self = static_cast<Task*>(arg);
+        self->run_scheduled_ = false;
+        self->RunOnce();
+      },
+      this);
 }
 
 bool Task::AnyOutputCongested() {
@@ -265,6 +287,22 @@ bool Task::AnyOutputCongested() {
     }
   }
   return congested;
+}
+
+bool Task::AnyOutputCongestedFast() const {
+  for (const OutputEdge& edge : output_edges_) {
+    for (net::Channel* ch : edge.channels) {
+      if (ch->congested()) return true;
+    }
+  }
+  return false;
+}
+
+bool Task::AllInputsEmpty() const {
+  for (net::Channel* ch : input_channels_) {
+    if (ch->HasInput()) return false;
+  }
+  return true;
 }
 
 void Task::EnterStall(metrics::StallReason reason) {

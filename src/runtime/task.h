@@ -97,9 +97,11 @@ class Task : public net::ChannelReceiver, public dataflow::OperatorContext {
   void BlockChannel(net::Channel* channel);
   void UnblockChannel(net::Channel* channel);
   bool IsChannelBlocked(net::Channel* channel) const {
-    return blocked_channels_.count(channel) > 0;
+    // The flag lives on the channel (each channel has exactly one receiver),
+    // so the per-selection check is a load instead of a hash lookup.
+    return channel->receiver_blocked();
   }
-  size_t blocked_channel_count() const { return blocked_channels_.size(); }
+  size_t blocked_channel_count() const { return blocked_count_; }
 
   /// True when `head` (a data element at the head of `channel`) may be
   /// processed now, per the installed hook.
@@ -140,7 +142,7 @@ class Task : public net::ChannelReceiver, public dataflow::OperatorContext {
   uint32_t subtask_index() const override { return subtask_; }
 
   // ---- ChannelReceiver ----
-  void OnElementAvailable(net::Channel* channel) override;
+  void OnBatchAvailable(net::Channel* channel, size_t appended) override;
 
   /// Invalidate the suspension memo and re-arm. Strategies must call this
   /// whenever processability may have changed (state installed, confirm
@@ -210,6 +212,10 @@ class Task : public net::ChannelReceiver, public dataflow::OperatorContext {
   /// SourceTask with generator-pump logic.
   virtual void RunOnce();
   bool AnyOutputCongested();
+  /// Pure congestion probe: no decongest-listener registration. Used by the
+  /// trailing re-arm elision, which must not alter listener state.
+  bool AnyOutputCongestedFast() const;
+  bool AllInputsEmpty() const;
   void EnterStall(metrics::StallReason reason);
   void ExitStall();
 
@@ -217,6 +223,7 @@ class Task : public net::ChannelReceiver, public dataflow::OperatorContext {
 
   bool frozen_ = false;
   bool crashed_ = false;
+  bool run_scheduled_ = false;
   sim::SimTime busy_until_ = 0;
 
  private:
@@ -235,11 +242,14 @@ class Task : public net::ChannelReceiver, public dataflow::OperatorContext {
 
   std::vector<net::Channel*> input_channels_;
   std::vector<OutputEdge> output_edges_;
-  std::unordered_set<net::Channel*> blocked_channels_;
+  size_t blocked_count_ = 0;  ///< channels with receiver_blocked() set
 
   // processing loop state
-  bool run_scheduled_ = false;
   bool stalled_ = false;
+  /// True while input_handler_ is the stock DefaultInputHandler; gates the
+  /// trailing re-arm elision (custom handlers may have their own notion of
+  /// available work, so their idle runs are never elided).
+  bool default_handler_ = true;
   /// True when the last selection pass found input but nothing processable.
   /// While set, deliveries that provably cannot change the verdict (a data
   /// record buried deep in an already-scanned queue) skip the rescan — this

@@ -36,6 +36,13 @@ uint64_t StateTransfer::Enqueue(runtime::Task* from, net::Channel* rail,
   transit.chunk = chunk;
   transit.rail = rail;
   transit.to = rail->receiver_id();
+  // Stage the serialized chunk in an arena block rather than heap memory:
+  // the block returns to its size-class freelist on install/abort, so the
+  // next chunk of comparable size (and any retransmission of this one)
+  // reuses it. staging_bytes_ tracks the sender-side migration footprint.
+  transit.wire_buffer = sim_->arena()->AllocateBlock(bytes);
+  staging_bytes_ += bytes;
+  peak_staging_bytes_ = std::max(peak_staging_bytes_, staging_bytes_);
   DRRS_AUDIT_CALL(sim_->auditor(),
                   OnChunkEnqueued(chunk, from->id(), rail->receiver_id()));
   DRRS_TRACE_CALL(sim_->tracer(),
@@ -49,6 +56,13 @@ uint64_t StateTransfer::Enqueue(runtime::Task* from, net::Channel* rail,
   // schedule (bit-identical traces to pre-fault builds).
   if (policy_.enabled) ArmAckTimer(id);
   return bytes;
+}
+
+void StateTransfer::ReleaseWireBuffer(Transit* transit) {
+  if (transit->wire_buffer == nullptr) return;
+  sim_->arena()->FreeBlock(transit->wire_buffer, transit->chunk.chunk_bytes);
+  transit->wire_buffer = nullptr;
+  staging_bytes_ -= transit->chunk.chunk_bytes;
 }
 
 void StateTransfer::EnableReliability(const ChunkRetryPolicy& policy,
@@ -168,12 +182,15 @@ bool StateTransfer::Install(runtime::Task* to, const StreamElement& chunk) {
   }
   Transit transit = std::move(it->second);
   in_transit_.erase(it);
+  ReleaseWireBuffer(&transit);
   DRRS_CHECK(to->state() != nullptr);
   transit.state.key_group = chunk.key_group;
   if (transit.whole_group) {
     to->state()->InstallKeyGroup(std::move(transit.state));
   } else {
-    // Merge cells only; the caller manages (sub-)ownership.
+    // Merge cells only; the caller manages (sub-)ownership. Each key lands
+    // in its own cell, so the merge commutes.
+    // lint:allow(unordered-iteration): commutative per-key merge.
     for (auto& [key, cell] : transit.state.cells) {
       *to->state()->GetOrCreate(chunk.key_group, key) = std::move(cell);
     }
@@ -197,12 +214,14 @@ size_t StateTransfer::ForceComplete(dataflow::ScaleId scale,
     Transit transit = std::move(it->second);
     uint64_t id = it->first;
     it = in_transit_.erase(it);
+    ReleaseWireBuffer(&transit);
     runtime::Task* to = graph->task(transit.to);
     DRRS_CHECK(to != nullptr && to->state() != nullptr);
     transit.state.key_group = transit.chunk.key_group;
     if (transit.whole_group) {
       to->state()->InstallKeyGroup(std::move(transit.state));
     } else {
+      // lint:allow(unordered-iteration): commutative per-key merge.
       for (auto& [key, cell] : transit.state.cells) {
         *to->state()->GetOrCreate(transit.chunk.key_group, key) =
             std::move(cell);
@@ -231,6 +250,7 @@ void StateTransfer::AbortScale(dataflow::ScaleId scale) {
       DRRS_TRACE_CALL(sim_ != nullptr ? sim_->tracer() : nullptr,
                       OnChunkAborted(it->first));
       aborted_.insert(it->first);
+      ReleaseWireBuffer(&it->second);
       it = in_transit_.erase(it);
     } else {
       ++it;

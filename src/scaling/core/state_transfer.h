@@ -87,6 +87,14 @@ class StateTransfer {
   /// Entries belonging to one scaling operation (leak check granularity).
   size_t in_transit_count(dataflow::ScaleId scale) const;
 
+  /// Chunk staging-buffer footprint (bytes of arena blocks held by chunks
+  /// currently on the wire) and its high-water mark across the run. The
+  /// buffers come from the simulator's data-plane arena, so consecutive
+  /// transfers — and every retransmission — recycle the same blocks instead
+  /// of hitting the heap.
+  uint64_t staging_bytes() const { return staging_bytes_; }
+  uint64_t peak_staging_bytes() const { return peak_staging_bytes_; }
+
  private:
   uint64_t Enqueue(runtime::Task* from, net::Channel* rail,
                    state::KeyGroupState state, bool whole,
@@ -105,7 +113,13 @@ class StateTransfer {
     net::Channel* rail = nullptr;
     dataflow::InstanceId to = 0;
     uint32_t attempts = 0;
+    /// Sender-side serialization staging block (arena AllocateBlock of
+    /// chunk_bytes). Lives until install/abort/force-complete; a
+    /// retransmission re-sends from the same block.
+    void* wire_buffer = nullptr;
   };
+  /// Free `transit`'s staging block back to the arena's size-class pool.
+  void ReleaseWireBuffer(Transit* transit);
   /// Ordered map: AbortScale and the per-scale count iterate it, and a
   /// decision path must not depend on hash-bucket order.
   std::map<uint64_t, Transit> in_transit_;
@@ -121,6 +135,8 @@ class StateTransfer {
   std::set<uint64_t> installed_;
   ChunkRetryPolicy policy_;
   metrics::MetricsHub* hub_ = nullptr;
+  uint64_t staging_bytes_ = 0;
+  uint64_t peak_staging_bytes_ = 0;
 };
 
 /// \brief View of a StateTransfer bound to one scaling operation: the

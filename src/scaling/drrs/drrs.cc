@@ -158,7 +158,7 @@ class DrrsInputHandler : public runtime::InputHandler {
           sel.has_element = true;
           sel.channel = ch;
           sel.element = (*queue)[i];
-          queue->erase(queue->begin() + static_cast<ptrdiff_t>(i));
+          queue->erase(i);
           ch->NotifyInputConsumed();
           return sel;
         }
@@ -641,9 +641,13 @@ void DrrsStrategy::AbandonScale() {
     for (net::Channel* ch : inst->input_channels()) {
       if (ch->scaling_path()) continue;
       auto* queue = ch->mutable_input_queue();
-      std::deque<StreamElement> kept;
+      // In-place compaction: kept elements slide forward over moved ones,
+      // preserving FIFO order of both sequences.
+      size_t w = 0;
       size_t extracted = 0;
-      for (StreamElement& e : *queue) {
+      const size_t n = queue->size();
+      for (size_t r = 0; r < n; ++r) {
+        StreamElement& e = (*queue)[r];
         uint32_t owner = 0;
         bool is_moved =
             e.kind == ElementKind::kRecord &&
@@ -656,19 +660,20 @@ void DrrsStrategy::AbandonScale() {
             graph_->instance(plan_.op, owner) != inst;
         if (is_moved) {
           Task* to = graph_->instance(plan_.op, owner);
-          StreamElement r = std::move(e);
-          r.rerouted = true;
+          StreamElement r_el = std::move(e);
+          r_el.rerouted = true;
           core_.rails()
               .Open(inst, to, /*seed_watermark=*/false)
               ->mutable_input_queue()
-              ->push_back(std::move(r));
+              ->push_back(std::move(r_el));
           ++extracted;
           to->WakeUp();
         } else {
-          kept.push_back(std::move(e));
+          if (w != r) (*queue)[w] = std::move(e);
+          ++w;
         }
       }
-      *queue = std::move(kept);
+      queue->truncate(w);
       for (size_t i = 0; i < extracted; ++i) ch->NotifyInputConsumed();
     }
   }

@@ -70,9 +70,13 @@ void StopRestartStrategy::Restore(const ScalePlan& plan) {
     for (net::Channel* ch : inst->input_channels()) {
       if (ch->scaling_path()) continue;
       auto* queue = ch->mutable_input_queue();
-      std::deque<dataflow::StreamElement> kept;
+      // In-place compaction: kept elements slide forward over moved ones,
+      // preserving FIFO order of both sequences.
+      size_t w = 0;
       size_t extracted = 0;
-      for (dataflow::StreamElement& e : *queue) {
+      const size_t n = queue->size();
+      for (size_t r = 0; r < n; ++r) {
+        dataflow::StreamElement& e = (*queue)[r];
         uint32_t owner = 0;
         bool is_moved =
             e.kind == dataflow::ElementKind::kRecord &&
@@ -85,18 +89,19 @@ void StopRestartStrategy::Restore(const ScalePlan& plan) {
             graph_->instance(plan.op, owner) != inst;
         if (is_moved) {
           Task* to = graph_->instance(plan.op, owner);
-          dataflow::StreamElement r = std::move(e);
-          r.rerouted = true;
+          dataflow::StreamElement r_el = std::move(e);
+          r_el.rerouted = true;
           core_.rails()
               .Open(inst, to, /*seed_watermark=*/false)
               ->mutable_input_queue()
-              ->push_back(std::move(r));
+              ->push_back(std::move(r_el));
           ++extracted;
         } else {
-          kept.push_back(std::move(e));
+          if (w != r) (*queue)[w] = std::move(e);
+          ++w;
         }
       }
-      *queue = std::move(kept);
+      queue->truncate(w);
       for (size_t i = 0; i < extracted; ++i) ch->NotifyInputConsumed();
     }
   }

@@ -1,6 +1,5 @@
 #include "sim/event_queue.h"
 
-#include <algorithm>
 #include <utility>
 
 #include "common/logging.h"
@@ -9,8 +8,19 @@
 namespace drrs::sim {
 
 void EventQueue::Schedule(SimTime at, Callback cb) {
-  heap_.push_back(Event{at, next_seq_++, std::move(cb)});
-  std::push_heap(heap_.begin(), heap_.end(), Later{});
+  CallbackBox* box = box_pool_.New();
+  box->cb = std::move(cb);
+  box->owner = this;
+  ScheduleRaw(at, &EventQueue::InvokeBox, box);
+}
+
+void EventQueue::InvokeBox(void* arg) {
+  auto* box = static_cast<CallbackBox*>(arg);
+  // Move the callback out and recycle the box *before* invoking: the body
+  // may schedule new boxed events, which can then reuse the slot.
+  Callback cb = std::move(box->cb);
+  box->owner->box_pool_.Delete(box);
+  cb();
 }
 
 SimTime EventQueue::PeekTime() const {
@@ -18,16 +28,47 @@ SimTime EventQueue::PeekTime() const {
   return heap_.front().time;
 }
 
-SimTime EventQueue::Pop(Callback* out) {
+EventQueue::Fired EventQueue::Pop() {
   DRRS_CHECK(!heap_.empty());
-  std::pop_heap(heap_.begin(), heap_.end(), Later{});
-  Event& last = heap_.back();
-  SimTime t = last.time;
-  DRRS_AUDIT_CALL(auditor_, OnEventPopped(t, last.seq));
-  *out = std::move(last.cb);
+  Event top = heap_.front();
+  DRRS_AUDIT_CALL(auditor_, OnEventPopped(top.time, top.seq));
+  Event last = heap_.back();
   heap_.pop_back();
+  if (!heap_.empty()) {
+    heap_.front() = last;
+    SiftDown(0);
+  }
   ++popped_;
-  return t;
+  return Fired{top.time, top.fn, top.arg};
+}
+
+void EventQueue::SiftUp(size_t i) {
+  Event e = heap_[i];
+  while (i > 0) {
+    size_t parent = (i - 1) >> kAryLog2;
+    if (!Later(heap_[parent], e)) break;
+    heap_[i] = heap_[parent];
+    i = parent;
+  }
+  heap_[i] = e;
+}
+
+void EventQueue::SiftDown(size_t i) {
+  Event e = heap_[i];
+  const size_t n = heap_.size();
+  while (true) {
+    size_t first = (i << kAryLog2) + 1;
+    if (first >= n) break;
+    size_t last = first + kAry < n ? first + kAry : n;
+    size_t child = first;
+    for (size_t c = first + 1; c < last; ++c) {
+      if (Later(heap_[child], heap_[c])) child = c;
+    }
+    if (!Later(e, heap_[child])) break;
+    heap_[i] = heap_[child];
+    i = child;
+  }
+  heap_[i] = e;
 }
 
 }  // namespace drrs::sim

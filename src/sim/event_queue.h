@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/arena.h"
 #include "sim/event_callback.h"
 #include "sim/sim_time.h"
 
@@ -23,16 +24,28 @@ namespace drrs::sim {
 /// auditor (verify::Auditor, DRRS_AUDIT builds) checks the rule on every pop
 /// and counts same-time pops as tie-break hazards.
 ///
-/// The payload is an `EventCallback` (small-buffer-optimized, move-only):
-/// steady-state engine events carry a capture of at most a few pointers and
-/// are stored entirely inline, so scheduling performs no heap allocation
-/// beyond the amortized growth of the heap vector itself.
+/// The heap entry is a 32-byte POD `{time, seq, fn, arg}`: sift moves are
+/// plain word copies, and the engine's hot scheduling sites (channel wire
+/// events, task re-arms) pass a captureless-lambda function pointer plus a
+/// context pointer directly — no callable object at all. General callables
+/// still work through `Schedule(at, EventCallback)`: the callback is boxed
+/// in a pooled arena slot and dispatched through a trampoline, with the box
+/// recycled on pop. Both paths draw from the same insertion sequence, so
+/// mixing them preserves the global FIFO tie-break.
 class EventQueue {
  public:
   using Callback = EventCallback;
+  /// Hot-path event body: a captureless function taking the context pointer.
+  using RawFn = void (*)(void*);
 
-  /// Enqueue a callback to fire at absolute time `at`.
+  /// Enqueue a boxed callback to fire at absolute time `at`.
   void Schedule(SimTime at, Callback cb);
+
+  /// Enqueue a raw (function pointer, context) event — allocation-free.
+  void ScheduleRaw(SimTime at, RawFn fn, void* arg) {
+    heap_.push_back(Event{at, next_seq_++, fn, arg});
+    SiftUp(heap_.size() - 1);
+  }
 
   bool empty() const { return heap_.empty(); }
   size_t size() const { return heap_.size(); }
@@ -40,9 +53,17 @@ class EventQueue {
   /// Time of the earliest pending event; kSimTimeMax when empty.
   SimTime PeekTime() const;
 
-  /// Pop the earliest event. Caller must check empty() first.
-  /// Returns the event's scheduled time; the callback is moved into `out`.
-  SimTime Pop(Callback* out);
+  /// A popped event, ready to run: call `fn(arg)`. For boxed callbacks, `fn`
+  /// is the unboxing trampoline (the box frees itself before invoking).
+  struct Fired {
+    SimTime time;
+    RawFn fn;
+    void* arg;
+  };
+
+  /// Pop the earliest event. Caller must check empty() first, then invoke
+  /// `fired.fn(fired.arg)` exactly once.
+  Fired Pop();
 
   /// Number of events *scheduled* so far (monotonic insertion counter, also
   /// the tie-break sequence). Diagnostic.
@@ -56,25 +77,46 @@ class EventQueue {
   void set_auditor(verify::Auditor* auditor) { auditor_ = auditor; }
 
  private:
+  /// 32-byte POD heap entry; sift moves are trivial copies.
   struct Event {
     SimTime time;
     uint64_t seq;
-    Callback cb;
-  };
-  struct Later {
-    bool operator()(const Event& a, const Event& b) const {
-      if (a.time != b.time) return a.time > b.time;
-      return a.seq > b.seq;
-    }
+    RawFn fn;
+    void* arg;
   };
 
-  // Explicit binary heap (std::push_heap/std::pop_heap over a vector) rather
-  // than std::priority_queue: popping moves the callback out without the
-  // const_cast that priority_queue::top() forces.
+  /// Pooled home of a boxed EventCallback while its event is pending.
+  struct CallbackBox {
+    Callback cb;
+    EventQueue* owner;
+  };
+
+  static void InvokeBox(void* arg);
+
+  // 4-ary heap: half the depth of a binary heap, and the four children of a
+  // node share one or two cache lines (32-byte entries), so sift-down does
+  // fewer dependent loads. Pop order is unaffected — (time, seq) is a total
+  // order, so any valid heap yields the same sequence.
+  static constexpr size_t kAryLog2 = 2;
+  static constexpr size_t kAry = size_t{1} << kAryLog2;
+
+  bool Later(const Event& a, const Event& b) const {
+    if (a.time != b.time) return a.time > b.time;
+    return a.seq > b.seq;
+  }
+
+  void SiftUp(size_t i);
+  void SiftDown(size_t i);
+
+  // Explicit binary heap over a vector of POD events. Hand-rolled sifts (vs
+  // std::push_heap/pop_heap over move-only payloads) keep every move a
+  // 32-byte copy.
   std::vector<Event> heap_;
   uint64_t next_seq_ = 0;
   uint64_t popped_ = 0;
   verify::Auditor* auditor_ = nullptr;
+  Arena box_arena_;
+  Pool<CallbackBox> box_pool_{&box_arena_};
 };
 
 }  // namespace drrs::sim

@@ -34,9 +34,9 @@ void Simulator::ScheduleAfter(SimTime delay, EventQueue::Callback cb) {
 uint64_t Simulator::RunUntil(SimTime horizon) {
   uint64_t n = 0;
   while (!queue_.empty() && queue_.PeekTime() <= horizon) {
-    EventQueue::Callback cb;
-    now_ = queue_.Pop(&cb);
-    cb();
+    EventQueue::Fired f = queue_.Pop();
+    now_ = f.time;
+    f.fn(f.arg);
     ++n;
     ++executed_;
     DRRS_TRACE_CALL(tracer_, OnEventExecuted(now_, queue_.size()));
@@ -48,9 +48,9 @@ uint64_t Simulator::RunUntil(SimTime horizon) {
 
 bool Simulator::Step() {
   if (queue_.empty()) return false;
-  EventQueue::Callback cb;
-  now_ = queue_.Pop(&cb);
-  cb();
+  EventQueue::Fired f = queue_.Pop();
+  now_ = f.time;
+  f.fn(f.arg);
   ++executed_;
   DRRS_TRACE_CALL(tracer_, OnEventExecuted(now_, queue_.size()));
   return true;

@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <functional>
 
+#include "common/arena.h"
 #include "sim/event_queue.h"
 #include "sim/sim_time.h"
 
@@ -42,6 +43,19 @@ class Simulator {
   /// Schedule `cb` after a relative delay (>= 0).
   void ScheduleAfter(SimTime delay, EventQueue::Callback cb);
 
+  /// Allocation-free scheduling for engine hot paths: a captureless function
+  /// plus a context pointer. Shares the insertion-sequence counter with the
+  /// boxed-callback path, so same-time ordering across both is the global
+  /// FIFO schedule order.
+  void ScheduleRawAt(SimTime at, EventQueue::RawFn fn, void* arg) {
+    queue_.ScheduleRaw(at < now_ ? now_ : at, fn, arg);
+  }
+
+  /// Raw counterpart of ScheduleAfter (delay must be >= 0).
+  void ScheduleRawAfter(SimTime delay, EventQueue::RawFn fn, void* arg) {
+    queue_.ScheduleRaw(now_ + delay, fn, arg);
+  }
+
   /// Run events until the queue is empty or `horizon` is passed. Events at
   /// exactly `horizon` still execute. Returns the number of events executed.
   uint64_t RunUntil(SimTime horizon);
@@ -78,10 +92,18 @@ class Simulator {
   uint64_t cancelled_fires() const { return cancelled_fires_; }
   void NoteCancelledFire() { ++cancelled_fires_; }
 
+  /// Data-plane arena: channel queue storage, wire batch buffers and
+  /// state-transfer scratch draw from here instead of the global heap. Its
+  /// lifetime is the simulation run; epoch resets are reserved for owners of
+  /// private arenas (the simulator never resets this one mid-run, since
+  /// channel queues live in it).
+  Arena* arena() { return &arena_; }
+
  private:
   SimTime now_ = 0;
   uint64_t executed_ = 0;
   EventQueue queue_;
+  Arena arena_;
   verify::Auditor* auditor_ = nullptr;
   net::FaultPlane* fault_plane_ = nullptr;
   trace::Tracer* tracer_ = nullptr;

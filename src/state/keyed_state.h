@@ -1,9 +1,12 @@
 #ifndef DRRS_STATE_KEYED_STATE_H_
 #define DRRS_STATE_KEYED_STATE_H_
 
+#include <array>
 #include <cstdint>
+#include <memory>
 #include <unordered_map>
 #include <unordered_set>
+#include <utility>
 #include <vector>
 
 #include "common/hash.h"
@@ -29,6 +32,10 @@ struct StateCell {
   /// Bytes last folded into the owning backend's per-group counter; managed
   /// by KeyedStateBackend's incremental accounting, not by operators.
   uint64_t acct_bytes = 0;
+  /// True while a pointer to this cell sits in the backend's accounting
+  /// journal; dedups repeated touches between flushes. Managed by the
+  /// backend (set on Get/GetOrCreate, cleared by FlushAccounting).
+  bool journaled = false;
 
   /// Default size model: fixed envelope plus 16 bytes per open window pane.
   void RecomputeBytes(uint64_t base = 64) {
@@ -43,9 +50,91 @@ struct KeyGroupState {
 
   uint64_t TotalBytes() const {
     uint64_t total = 0;
+    // lint:allow(unordered-iteration): pure sum fold; order-independent.
     for (const auto& [key, cell] : cells) total += cell.nominal_bytes;
     return total;
   }
+};
+
+/// \brief Hash-indexed cell store of one key-group, laid out as parallel
+/// arrays (struct-of-arrays) for the lookup-hot data.
+///
+/// The probe loop of a lookup touches only two dense arrays — the
+/// open-addressing `index_` table and the `slot_keys_` array — never the
+/// cells themselves, so a miss or a long probe chain stays inside a couple
+/// of cache lines. Cells live in fixed-size slabs that are allocated once
+/// and never move: `StateCell*` handed to callers stays valid across any
+/// number of inserts (the stability guarantee the accounting journal and
+/// the migration paths rely on). Erased slots turn into index tombstones
+/// plus a slot freelist; iteration walks slots in allocation order, so a
+/// freshly filled store visits keys in insertion order deterministically.
+class GroupStore {
+ public:
+  StateCell* Find(dataflow::KeyT key) {
+    if (size_ == 0) return nullptr;
+    const size_t mask = index_.size() - 1;
+    size_t i = HashKey(key) & mask;
+    while (true) {
+      const IndexEntry& e = index_[i];
+      if (e.slot == kEmpty) return nullptr;
+      if (e.key == key && e.slot != kTombstone) {
+        return &CellAt(static_cast<uint32_t>(e.slot));
+      }
+      i = (i + 1) & mask;
+    }
+  }
+
+  /// Returns (cell, inserted). A fresh cell is default-constructed.
+  std::pair<StateCell*, bool> FindOrInsert(dataflow::KeyT key);
+
+  /// Remove `key`; destroys the cell's contents and recycles the slot.
+  bool Erase(dataflow::KeyT key);
+
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  /// Drop every cell and the index; slabs are released too.
+  void Clear();
+
+  /// Visit live cells in slot (allocation) order as fn(key, cell).
+  template <typename Fn>
+  void ForEach(Fn&& fn) const {
+    for (uint32_t s = 0; s < slot_keys_.size(); ++s) {
+      if (!slot_live_[s]) continue;
+      fn(slot_keys_[s], CellAt(s));
+    }
+  }
+
+ private:
+  static constexpr int32_t kEmpty = -1;
+  static constexpr int32_t kTombstone = -2;
+  static constexpr uint32_t kSlabBits = 6;
+  static constexpr uint32_t kSlabSize = 1u << kSlabBits;  // cells per slab
+  using Slab = std::array<StateCell, kSlabSize>;
+
+  /// One open-addressing table entry. The key is replicated here so the
+  /// probe loop stays within this single dense array (the struct-of-arrays
+  /// split that matters: probing never touches the fat cell slabs).
+  struct IndexEntry {
+    dataflow::KeyT key = 0;
+    int32_t slot = kEmpty;
+  };
+
+  StateCell& CellAt(uint32_t slot) const {
+    return (*slabs_[slot >> kSlabBits])[slot & (kSlabSize - 1)];
+  }
+
+  void Rehash(size_t new_cap);
+  uint32_t AllocateSlot(dataflow::KeyT key);
+
+  std::vector<std::unique_ptr<Slab>> slabs_;
+  std::vector<dataflow::KeyT> slot_keys_;  ///< parallel to slots
+  std::vector<uint8_t> slot_live_;         ///< parallel to slots
+  std::vector<uint32_t> free_slots_;
+  /// Open-addressing table (linear probing over IndexEntry).
+  std::vector<IndexEntry> index_;
+  size_t size_ = 0;
+  size_t used_ = 0;  ///< live + tombstoned index entries
 };
 
 /// \brief Keyed state of one task instance, partitioned by key-group.
@@ -99,11 +188,12 @@ class KeyedStateBackend {
   /// it owned.
   void InstallKeyGroup(KeyGroupState state);
 
-  /// Visit every key currently stored in `kg`. The callback must not mutate
-  /// the backend's key set (cell contents are fine to change via Get).
+  /// Visit every key currently stored in `kg` (slot order: insertion order
+  /// until keys are erased). The callback must not mutate the backend's key
+  /// set (cell contents are fine to change via Get).
   template <typename Fn>
   void ForEachKey(dataflow::KeyGroupId kg, Fn&& fn) const {
-    for (const auto& [key, cell] : groups_[kg]) fn(key);
+    groups_[kg].ForEach([&](dataflow::KeyT key, const StateCell&) { fn(key); });
   }
 
   uint64_t KeyGroupBytes(dataflow::KeyGroupId kg) const;
@@ -147,13 +237,13 @@ class KeyedStateBackend {
   void DebugRecount() const;
 
   uint32_t num_key_groups_;
-  std::vector<std::unordered_map<dataflow::KeyT, StateCell>> groups_;
+  std::vector<GroupStore> groups_;
   std::unordered_set<dataflow::KeyGroupId> owned_;
 
   /// Accounted bytes per key-group (valid after FlushAccounting).
   mutable std::vector<uint64_t> group_bytes_;
   /// Journal of cells whose pointer escaped since the last flush. Pointers
-  /// are stable (node-based map) and the journal is flushed before any
+  /// are stable (slab-backed store) and the journal is flushed before any
   /// operation that erases or overwrites cells.
   mutable std::vector<std::pair<dataflow::KeyGroupId, StateCell*>> touched_;
   bool debug_recount_ = false;

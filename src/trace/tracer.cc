@@ -243,6 +243,20 @@ void Tracer::OnElementDelivered(const dataflow::StreamElement& element,
   Emit(e);
 }
 
+void Tracer::OnBatchDelivered(dataflow::InstanceId to, size_t batch_size) {
+  if (!enabled(kNetElement)) return;
+  TraceEvent e;
+  e.phase = TraceEvent::Phase::kInstant;
+  e.category = kNetElement;
+  e.name = "batch_flush";
+  e.track = kTrackNet;
+  e.ts = Now();
+  e.args[0] = {"to", to};
+  e.args[1] = {"batch_size", static_cast<int64_t>(batch_size)};
+  e.num_args = 2;
+  Emit(e);
+}
+
 // ---- task hooks ----
 
 void Tracer::OnTaskStall(dataflow::InstanceId instance,

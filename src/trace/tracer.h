@@ -139,6 +139,9 @@ class Tracer {
                             dataflow::InstanceId to);
   void OnElementDelivered(const dataflow::StreamElement& element,
                           dataflow::InstanceId to, size_t input_depth);
+  /// One wire-batch flush: `batch_size` elements shared a deliverable window
+  /// and reached `to` in a single armed event.
+  void OnBatchDelivered(dataflow::InstanceId to, size_t batch_size);
 
   // ---- task hooks (runtime::Task) ----
 

@@ -77,6 +77,15 @@ TEST(Determinism, GoldenSameSeedRunsAreBitIdentical) {
   // The state sampler must have produced samples and then stopped (the run
   // uses a run-to-completion horizon internally bounded by the workload).
   EXPECT_FALSE(a.hub->state_bytes().empty());
+
+  // Batched delivery was actually exercised — the golden equality above is
+  // only meaningful if the runs went through the RecordBatch path, i.e.
+  // fewer receiver notifications than records delivered.
+  EXPECT_GT(a.delivered_elements, 0u);
+  EXPECT_LT(a.delivered_batches, a.delivered_elements)
+      << "every record was a singleton batch; coalescing never fired";
+  EXPECT_EQ(a.delivered_elements, b.delivered_elements);
+  EXPECT_EQ(a.delivered_batches, b.delivered_batches);
 }
 
 TEST(Determinism, EngineHotPathNeverHeapAllocatesCallbacks) {
@@ -216,7 +225,7 @@ TEST(EventCallback, MoveTransfersNonTrivialCaptures) {
 
 class NullReceiver : public net::ChannelReceiver {
  public:
-  void OnElementAvailable(net::Channel*) override {}
+  void OnBatchAvailable(net::Channel*, size_t) override {}
   void OnControlBypass(net::Channel*,
                        const dataflow::StreamElement&) override {}
 };

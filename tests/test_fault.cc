@@ -322,7 +322,12 @@ TEST(FaultDeterminism, SameSeedReproducesFaultsAndRecovery) {
 // Chaos matrix: every mechanism x every fault class, audit-clean
 // ---------------------------------------------------------------------------
 
-enum class FaultClass { kChunkLoss, kLinkPartition, kTaskCrash };
+enum class FaultClass {
+  kChunkLoss,
+  kLinkPartition,
+  kTaskCrash,
+  kChunkChaosWithCrash
+};
 
 const char* FaultClassName(FaultClass f) {
   switch (f) {
@@ -332,6 +337,8 @@ const char* FaultClassName(FaultClass f) {
       return "link-partition";
     case FaultClass::kTaskCrash:
       return "task-crash";
+    case FaultClass::kChunkChaosWithCrash:
+      return "chunk-chaos+crash";
   }
   return "?";
 }
@@ -367,6 +374,26 @@ void RunChaosCell(harness::SystemKind kind, FaultClass fault) {
       c.faults.crashes.push_back(crash);
       break;
     }
+    case FaultClass::kChunkChaosWithCrash: {
+      // Everything at once: lossy+duplicating+laggy wire for state chunks
+      // *and* a task crash mid-run. Exercises the batched delivery path
+      // under the least friendly conditions — recovery traffic interleaved
+      // with crash replay — and must still be audit-clean.
+      c.faults.seed = 2000 + static_cast<uint64_t>(kind);
+      c.faults.chunk.drop_rate = 0.2;
+      c.faults.chunk.duplicate_rate = 0.1;
+      c.faults.chunk.delay_rate = 0.3;
+      c.faults.chunk.delay = sim::Millis(2);
+      c.faults.chunk.max_drops = 6;
+      c.chunk_retry.enabled = true;
+      c.faults.checkpoints.push_back(sim::Seconds(5));
+      FaultSchedule::CrashFault crash;
+      crash.op = 1;
+      crash.subtask = 1;
+      crash.at = sim::Seconds(7);
+      c.faults.crashes.push_back(crash);
+      break;
+    }
   }
   harness::ExperimentResult r = RunPipeline(c);
   SCOPED_TRACE(std::string(harness::SystemName(kind)) + " x " +
@@ -378,7 +405,8 @@ void RunChaosCell(harness::SystemKind kind, FaultClass fault) {
   if (fault == FaultClass::kLinkPartition) {
     EXPECT_EQ(r.recovery.links_healed, 1u);
   }
-  if (fault == FaultClass::kTaskCrash) {
+  if (fault == FaultClass::kTaskCrash ||
+      fault == FaultClass::kChunkChaosWithCrash) {
     EXPECT_EQ(r.recovery.crash_recoveries, 1u);
   }
 }
@@ -395,6 +423,10 @@ TEST_P(ChaosMatrix, LinkPartition) {
 
 TEST_P(ChaosMatrix, TaskCrash) {
   RunChaosCell(GetParam(), FaultClass::kTaskCrash);
+}
+
+TEST_P(ChaosMatrix, ChunkChaosWithCrash) {
+  RunChaosCell(GetParam(), FaultClass::kChunkChaosWithCrash);
 }
 
 INSTANTIATE_TEST_SUITE_P(

@@ -15,8 +15,9 @@ using dataflow::StreamElement;
 
 class RecordingReceiver : public ChannelReceiver {
  public:
-  void OnElementAvailable(Channel* channel) override {
-    ++available_calls;
+  void OnBatchAvailable(Channel* channel, size_t appended) override {
+    available_calls += static_cast<int>(appended);
+    ++batch_calls;
     last_channel = channel;
   }
   void OnControlBypass(Channel* /*channel*/,
@@ -25,6 +26,7 @@ class RecordingReceiver : public ChannelReceiver {
   }
 
   int available_calls = 0;
+  int batch_calls = 0;
   Channel* last_channel = nullptr;
   std::vector<StreamElement> bypassed;
 };
@@ -77,6 +79,38 @@ TEST_F(ChannelTest, CreditWindowLimitsInFlight) {
   sim_.RunUntilIdle();
   EXPECT_EQ(ch.input_queue_size(), 4u);
   EXPECT_EQ(ch.output_queue_size(), 4u);
+}
+
+TEST_F(ChannelTest, BatchedDeliveryCoalescesSameArrivalInstant) {
+  // Fast wire: 100-byte records at 10000 B/us serialize in < 1 time unit, so
+  // a burst shares one arrival instant and must land as ONE batch — a single
+  // receiver notification covering all records, with per-record stats kept.
+  NetworkConfig c = MakeConfig();
+  c.bandwidth_bytes_per_us = 10000;
+  Channel ch(&sim_, c, 1, 2, &receiver_);
+  for (uint64_t k = 0; k < 4; ++k) ch.Push(Rec(k));
+  sim_.RunUntilIdle();
+  EXPECT_EQ(receiver_.batch_calls, 1);
+  EXPECT_EQ(receiver_.available_calls, 4);  // sum of `appended`
+  EXPECT_EQ(ch.delivered_elements(), 4u);
+  EXPECT_EQ(ch.delivered_batches(), 1u);
+  EXPECT_EQ(ch.max_batch_size(), 4u);
+  EXPECT_EQ(ch.batch_size_log2_hist()[2], 1u);  // one batch in [4, 8)
+  for (uint64_t k = 0; k < 4; ++k) EXPECT_EQ(ch.PopInput().key, k);
+}
+
+TEST_F(ChannelTest, StaggeredArrivalsDeliverAsSingletonBatches) {
+  // Slow wire: 1 us serialization per record staggers arrivals, so each
+  // record is its own due prefix — batching must degrade to per-record
+  // delivery without merging records that are not due yet.
+  Channel ch(&sim_, MakeConfig(), 1, 2, &receiver_);
+  for (uint64_t k = 0; k < 4; ++k) ch.Push(Rec(k));
+  sim_.RunUntilIdle();
+  EXPECT_EQ(receiver_.batch_calls, 4);
+  EXPECT_EQ(receiver_.available_calls, 4);
+  EXPECT_EQ(ch.delivered_batches(), 4u);
+  EXPECT_EQ(ch.max_batch_size(), 1u);
+  EXPECT_EQ(ch.batch_size_log2_hist()[0], 4u);  // four singleton batches
 }
 
 TEST_F(ChannelTest, CongestionSignalsAtCapacity) {

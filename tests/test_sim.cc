@@ -15,9 +15,8 @@ TEST(EventQueue, OrdersByTime) {
   q.Schedule(10, [&] { fired.push_back(1); });
   q.Schedule(20, [&] { fired.push_back(2); });
   while (!q.empty()) {
-    EventQueue::Callback cb;
-    q.Pop(&cb);
-    cb();
+    EventQueue::Fired f = q.Pop();
+    f.fn(f.arg);
   }
   EXPECT_EQ(fired, (std::vector<int>{1, 2, 3}));
 }
@@ -29,9 +28,8 @@ TEST(EventQueue, TieBrokenByInsertionOrder) {
     q.Schedule(5, [&fired, i] { fired.push_back(i); });
   }
   while (!q.empty()) {
-    EventQueue::Callback cb;
-    q.Pop(&cb);
-    cb();
+    EventQueue::Fired f = q.Pop();
+    f.fn(f.arg);
   }
   for (int i = 0; i < 10; ++i) EXPECT_EQ(fired[i], i);
 }
@@ -47,9 +45,8 @@ TEST(EventQueue, TieBreakIsGlobalInsertionOrder) {
   q.Schedule(7, [&] { fired.push_back(3); });
   q.Schedule(5, [&] { fired.push_back(4); });
   while (!q.empty()) {
-    EventQueue::Callback cb;
-    q.Pop(&cb);
-    cb();
+    EventQueue::Fired f = q.Pop();
+    f.fn(f.arg);
   }
   EXPECT_EQ(fired, (std::vector<int>{2, 4, 1, 3}));
 }

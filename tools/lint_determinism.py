@@ -42,6 +42,12 @@ DECISION_PATH_DIRS = (
     "src/runtime",
     "src/fault",
     "src/trace",
+    # Data-plane memory & batching (arena, ring deques, batched channel
+    # delivery, SoA keyed state): these now sit on the record hot path, so
+    # an order hazard here reorders the event sequence itself.
+    "src/common",
+    "src/net",
+    "src/state",
 )
 CXX_EXTENSIONS = (".h", ".cc", ".cpp", ".hpp")
 

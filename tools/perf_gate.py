@@ -1,0 +1,120 @@
+#!/usr/bin/env python3
+"""Performance gate for the event-engine microbenchmarks.
+
+Compares a fresh `bench_event_engine` run against the committed
+BENCH_engine.json baseline (the *last* history row) and fails when a bench
+regresses beyond the tolerance band:
+
+  * allocs_per_item — near-deterministic (the allocation count of a fixed
+    workload); gated tightly. A regression here means a hot path started
+    heap-allocating again, which no amount of "the CI machine was slow"
+    explains. Tolerance: committed value * (1 + --alloc-tol) + 0.005 abs.
+  * items_per_sec — wall-clock, so noisy on shared runners; gated loosely.
+    A candidate below committed * --min-speed-frac fails. The default (0.5)
+    only catches structural slowdowns (an accidental O(n^2), a debug build),
+    not scheduler jitter.
+
+Benches present in the candidate but not in the baseline are reported and
+skipped (new benches gate from the row that first records them). Benches
+present in the baseline but missing from the candidate FAIL — losing
+coverage silently is itself a regression.
+
+Exit status: 0 pass, 1 regression, 2 usage/format error.
+"""
+
+import argparse
+import json
+import sys
+
+
+def load_baseline(path):
+    """Return (results_dict, row_label) from BENCH_engine.json.
+
+    Accepts the history format ({"history": [{"row": ..., "results": ...}]})
+    and the legacy single-document format ({"results": {...}}).
+    """
+    with open(path, encoding="utf-8") as f:
+        doc = json.load(f)
+    if "history" in doc:
+        if not doc["history"]:
+            print(f"error: {path} has an empty history", file=sys.stderr)
+            sys.exit(2)
+        row = doc["history"][-1]
+        return row["results"], row.get("row", "<unlabeled>")
+    if "results" in doc:
+        return doc["results"], "<legacy single row>"
+    print(f"error: {path}: neither 'history' nor 'results'", file=sys.stderr)
+    sys.exit(2)
+
+
+def load_candidate(path):
+    with open(path, encoding="utf-8") as f:
+        doc = json.load(f)
+    if "results" not in doc:
+        print(f"error: {path}: no 'results'", file=sys.stderr)
+        sys.exit(2)
+    return doc["results"]
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("candidate", help="JSON written by bench_event_engine")
+    parser.add_argument("--baseline", default="BENCH_engine.json",
+                        help="committed baseline (default: BENCH_engine.json)")
+    parser.add_argument("--min-speed-frac", type=float, default=0.5,
+                        help="fail if items_per_sec < frac * baseline "
+                             "(default 0.5; loose on purpose — CI wall-clock "
+                             "is noisy)")
+    parser.add_argument("--alloc-tol", type=float, default=0.10,
+                        help="relative tolerance on allocs_per_item "
+                             "(default 0.10, plus 0.005 absolute slack)")
+    args = parser.parse_args()
+
+    baseline, row_label = load_baseline(args.baseline)
+    candidate = load_candidate(args.candidate)
+
+    print(f"perf_gate: baseline row '{row_label}' from {args.baseline}")
+    failures = []
+    for name in sorted(baseline):
+        if name not in candidate:
+            failures.append(f"{name}: present in baseline but missing from "
+                            "the candidate run")
+            continue
+        base = baseline[name]
+        cand = candidate[name]
+
+        speed_floor = base["items_per_sec"] * args.min_speed_frac
+        speed_ok = cand["items_per_sec"] >= speed_floor
+        alloc_ceiling = base["allocs_per_item"] * (1 + args.alloc_tol) + 0.005
+        alloc_ok = cand["allocs_per_item"] <= alloc_ceiling
+
+        print(f"  {name:<20} items/s {cand['items_per_sec']:>12.0f} "
+              f"(floor {speed_floor:>12.0f}) "
+              f"allocs/item {cand['allocs_per_item']:.4f} "
+              f"(ceiling {alloc_ceiling:.4f}) "
+              f"{'OK' if speed_ok and alloc_ok else 'FAIL'}")
+        if not speed_ok:
+            failures.append(
+                f"{name}: items_per_sec {cand['items_per_sec']:.0f} < "
+                f"{args.min_speed_frac} * baseline "
+                f"{base['items_per_sec']:.0f}")
+        if not alloc_ok:
+            failures.append(
+                f"{name}: allocs_per_item {cand['allocs_per_item']:.4f} > "
+                f"ceiling {alloc_ceiling:.4f} "
+                f"(baseline {base['allocs_per_item']:.4f})")
+
+    for name in sorted(set(candidate) - set(baseline)):
+        print(f"  {name:<20} new bench, no baseline row yet — skipped")
+
+    if failures:
+        print(f"\nperf_gate: {len(failures)} regression(s):", file=sys.stderr)
+        for f in failures:
+            print(f"  {f}", file=sys.stderr)
+        return 1
+    print("perf_gate: OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
