@@ -30,6 +30,7 @@ void RunWorkload(const std::string& workload, const BenchArgs& args) {
   for (SystemKind kind : systems) {
     auto spec = BuildByName(workload, args.scale);
     auto config = BenchSetups::Config(kind);
+    config.threads = args.threads;
     if (!args.trace.empty()) {
       config.trace_path = drrs::bench::TaggedPath(
           args.trace, workload + "." + drrs::harness::SystemName(kind));

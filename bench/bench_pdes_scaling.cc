@@ -1,0 +1,205 @@
+// Microbenchmark for the partitioned (PDES) simulation backend: wall-clock
+// scaling of a 16-pipeline multi-tenant topology and of a Fig 15-style
+// parameter-grid workload versus worker thread count. The simulation output
+// is bit-identical for every thread count (the bench cross-checks a result
+// fingerprint and fails hard on any mismatch), so the only thing threads buy
+// is wall-clock — events/s and pipeline records/s per thread count is the
+// whole story. Results append to BENCH_engine.json history rows tagged
+// "bench_pdes_scaling"; tools/perf_gate.py gates the 4-thread speedup when
+// the machine has enough cores (the `cores` field records the environment).
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <new>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "harness/experiment.h"
+#include "workloads/workloads.h"
+
+namespace {
+std::atomic<uint64_t> g_alloc_count{0};
+}  // namespace
+
+void* operator new(std::size_t size) {
+  g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size)) return p;
+  throw std::bad_alloc();
+}
+void* operator new[](std::size_t size) {
+  g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size)) return p;
+  throw std::bad_alloc();
+}
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+
+namespace drrs {
+namespace {
+
+struct RunStats {
+  uint32_t threads = 0;
+  double wall_ms = 0;
+  uint64_t executed_events = 0;
+  uint64_t sink_records = 0;
+  uint64_t allocs = 0;
+  // Determinism fingerprint: must be identical across thread counts.
+  uint64_t source_records = 0;
+
+  double events_per_sec() const {
+    return wall_ms > 0 ? executed_events / (wall_ms / 1000.0) : 0;
+  }
+  double records_per_sec() const {
+    return wall_ms > 0 ? sink_records / (wall_ms / 1000.0) : 0;
+  }
+};
+
+workloads::MultiJobParams PipelineTopology() {
+  // 16 independent pipelines — one logical process each under the
+  // connected-component partitioner.
+  workloads::MultiJobParams p;
+  p.jobs = 16;
+  p.events_per_second = 2000;
+  p.num_keys = 2000;
+  p.state_bytes_per_key = 1024;
+  p.duration = sim::Seconds(40);
+  p.record_cost = sim::Micros(220);
+  p.agg_parallelism = 4;
+  return p;
+}
+
+workloads::MultiJobParams GridTopology() {
+  // Fig 15-style cells (mid rate, mid state, moderate skew) as one
+  // multi-tenant graph: nine cells sharing a wall-clock budget.
+  workloads::MultiJobParams p;
+  p.jobs = 9;
+  p.events_per_second = 2500;
+  p.num_keys = 5000;
+  p.skew = 0.5;
+  p.state_bytes_per_key = 16384;
+  p.duration = sim::Seconds(40);
+  p.record_cost = sim::Micros(400);
+  p.agg_parallelism = 4;
+  return p;
+}
+
+RunStats RunOnce(const workloads::MultiJobParams& params, uint32_t threads) {
+  harness::ExperimentConfig c;
+  c.system = harness::SystemKind::kNoScale;
+  c.scale_at = sim::Seconds(10);
+  c.threads = threads;
+  c.audit = false;  // wall-clock measurement, not a correctness run
+  c.engine.check_invariants = false;
+
+  uint64_t alloc_before = g_alloc_count.load(std::memory_order_relaxed);
+  auto start = std::chrono::steady_clock::now();
+  auto result =
+      harness::RunExperiment(workloads::BuildMultiJobWorkload(params), c);
+  auto elapsed = std::chrono::steady_clock::now() - start;
+
+  RunStats s;
+  s.threads = threads;
+  s.wall_ms = std::chrono::duration<double, std::milli>(elapsed).count();
+  s.executed_events = result.executed_events;
+  s.sink_records = result.sink_records;
+  s.source_records = result.source_records;
+  s.allocs = g_alloc_count.load(std::memory_order_relaxed) - alloc_before;
+  std::printf(
+      "  threads=%u  %9.1f ms  %12.0f events/s  %12.0f rec/s  "
+      "(events=%llu sink=%llu)\n",
+      threads, s.wall_ms, s.events_per_sec(), s.records_per_sec(),
+      static_cast<unsigned long long>(s.executed_events),
+      static_cast<unsigned long long>(s.sink_records));
+  return s;
+}
+
+bool FingerprintsMatch(const std::vector<RunStats>& runs) {
+  for (size_t i = 1; i < runs.size(); ++i) {
+    if (runs[i].executed_events != runs[0].executed_events ||
+        runs[i].sink_records != runs[0].sink_records ||
+        runs[i].source_records != runs[0].source_records) {
+      std::fprintf(stderr,
+                   "FINGERPRINT MISMATCH at threads=%u: the thread count "
+                   "leaked into simulation results\n",
+                   runs[i].threads);
+      return false;
+    }
+  }
+  return true;
+}
+
+void EmitResultEntry(std::FILE* f, const char* name, const RunStats& s,
+                     uint64_t items, double items_per_sec, bool last) {
+  std::fprintf(f,
+               "    \"%s\": {\"items\": %llu, \"wall_ms\": %.2f, "
+               "\"items_per_sec\": %.0f, \"allocs\": %llu, "
+               "\"allocs_per_item\": %.4f}%s\n",
+               name, static_cast<unsigned long long>(items), s.wall_ms,
+               items_per_sec, static_cast<unsigned long long>(s.allocs),
+               items > 0 ? static_cast<double>(s.allocs) / items : 0,
+               last ? "" : ",");
+}
+
+int Main(int argc, char** argv) {
+  const char* out = argc > 1 ? argv[1] : "BENCH_pdes.json";
+  const unsigned cores = std::thread::hardware_concurrency();
+  std::printf("bench_pdes_scaling (%u hardware threads)\n", cores);
+
+  std::printf("16-pipeline topology:\n");
+  std::vector<RunStats> pipeline;
+  for (uint32_t t : {1u, 2u, 4u}) pipeline.push_back(RunOnce(PipelineTopology(), t));
+  std::printf("fig15-style grid topology:\n");
+  std::vector<RunStats> grid;
+  for (uint32_t t : {1u, 4u}) grid.push_back(RunOnce(GridTopology(), t));
+
+  if (!FingerprintsMatch(pipeline) || !FingerprintsMatch(grid)) return 1;
+
+  const double speedup2 = pipeline[1].wall_ms > 0
+                              ? pipeline[0].wall_ms / pipeline[1].wall_ms
+                              : 0;
+  const double speedup4 = pipeline[2].wall_ms > 0
+                              ? pipeline[0].wall_ms / pipeline[2].wall_ms
+                              : 0;
+  const double grid_speedup4 =
+      grid[1].wall_ms > 0 ? grid[0].wall_ms / grid[1].wall_ms : 0;
+  std::printf(
+      "speedup vs 1 thread: %.2fx @2t, %.2fx @4t (grid %.2fx @4t); "
+      "fingerprints identical\n",
+      speedup2, speedup4, grid_speedup4);
+
+  std::FILE* f = std::fopen(out, "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot open %s\n", out);
+    return 1;
+  }
+  std::fprintf(f, "{\n  \"bench\": \"bench_pdes_scaling\",\n");
+  std::fprintf(f,
+               "  \"pdes\": {\"cores\": %u, \"threads\": [1, 2, 4], "
+               "\"speedup_2t\": %.2f, \"speedup_4t\": %.2f, "
+               "\"grid_speedup_4t\": %.2f, \"fingerprint_ok\": true},\n",
+               cores, speedup2, speedup4, grid_speedup4);
+  std::fprintf(f, "  \"results\": {\n");
+  EmitResultEntry(f, "pdes_events_1t", pipeline[0], pipeline[0].executed_events,
+                  pipeline[0].events_per_sec(), false);
+  EmitResultEntry(f, "pdes_events_4t", pipeline[2], pipeline[2].executed_events,
+                  pipeline[2].events_per_sec(), false);
+  EmitResultEntry(f, "pdes_pipeline_4t", pipeline[2], pipeline[2].sink_records,
+                  pipeline[2].records_per_sec(), false);
+  EmitResultEntry(f, "fig15_grid_4t", grid[1], grid[1].executed_events,
+                  grid[1].events_per_sec(), true);
+  std::fprintf(f, "  }\n}\n");
+  std::fclose(f);
+  std::printf("wrote %s\n", out);
+  return 0;
+}
+
+}  // namespace
+}  // namespace drrs
+
+int main(int argc, char** argv) { return drrs::Main(argc, argv); }

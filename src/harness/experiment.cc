@@ -7,6 +7,7 @@
 #include "common/logging.h"
 #include "runtime/checkpoint.h"
 #include "scaling/scale_service.h"
+#include "sim/partition.h"
 
 namespace drrs::harness {
 
@@ -78,42 +79,69 @@ std::unique_ptr<scaling::ScalingStrategy> MakeStrategy(
 ExperimentResult RunExperiment(const workloads::WorkloadSpec& workload,
                                const ExperimentConfig& config) {
   sim::Simulator sim;
+  // The partitioned backend is always attached, even at threads=1: the
+  // logical partitioning must be a function of the job graph alone, never of
+  // the thread count, or results would differ across --threads values.
+  sim::PdesEngine::Options engine_options;
+  engine_options.threads = config.threads == 0 ? 1 : config.threads;
+  sim::PdesEngine engine(&sim, engine_options);
+
+  auto hub = std::make_unique<metrics::MetricsHub>();
+  runtime::ExecutionGraph graph(&sim, workload.graph, config.engine,
+                                hub.get());
+  graph.AttachEngine(&engine, /*base_seed=*/1);
+  if (!config.partition_override.empty()) {
+    graph.set_partition_override(config.partition_override);
+  }
+  Status st = graph.Build();
+  DRRS_CHECK(st.ok()) << st.ToString();
+  const uint32_t partitions = graph.partition_count();
+
+  // Observers install after Build (which emits no audit/trace events) so
+  // every logical process gets its own instance; the per-partition reports
+  // and traces merge canonically after the run.
 #if DRRS_AUDIT
-  std::optional<verify::Auditor> auditor;
+  std::vector<std::unique_ptr<verify::Auditor>> auditors;
   if (config.audit) {
-    auditor.emplace();
-    sim.set_auditor(&*auditor);
+    for (uint32_t p = 0; p < partitions; ++p) {
+      auditors.push_back(std::make_unique<verify::Auditor>());
+      engine.partition_sim(p)->set_auditor(auditors[p].get());
+    }
   }
 #endif
 #if DRRS_TRACE
-  // The tracer is always installed in trace builds: with no --trace path it
-  // runs ring-only, so the flight recorder is armed at bounded cost.
-  trace::Tracer::Options trace_options = config.trace;
-  if (config.trace_path.empty()) {
-    trace_options.ring_only = true;
-  } else if (trace_options.flight_dump_path ==
-             trace::Tracer::Options{}.flight_dump_path) {
-    trace_options.flight_dump_path = config.trace_path + ".flight.json";
+  // Tracers are always installed in trace builds: with no --trace path they
+  // run ring-only, so the flight recorder is armed at bounded cost.
+  std::vector<std::unique_ptr<trace::Tracer>> tracers;
+  for (uint32_t p = 0; p < partitions; ++p) {
+    trace::Tracer::Options trace_options = config.trace;
+    if (config.trace_path.empty()) {
+      trace_options.ring_only = true;
+    } else if (trace_options.flight_dump_path ==
+               trace::Tracer::Options{}.flight_dump_path) {
+      trace_options.flight_dump_path = config.trace_path + ".flight.json";
+    }
+    if (p > 0) trace_options.flight_dump_path += ".p" + std::to_string(p);
+    tracers.push_back(std::make_unique<trace::Tracer>(trace_options));
+    engine.partition_sim(p)->set_tracer(tracers[p].get());
   }
-  std::optional<trace::Tracer> tracer(std::in_place, trace_options);
-  sim.set_tracer(&*tracer);
 #if DRRS_AUDIT
-  if (auditor.has_value()) {
-    trace::Tracer* t = &*tracer;
-    auditor->set_on_violation([t](const verify::Violation& v) {
+  for (uint32_t p = 0; p < auditors.size(); ++p) {
+    trace::Tracer* t = tracers[p].get();
+    auditors[p]->set_on_violation([t](const verify::Violation& v) {
       t->DumpFlightRecorder("audit violation: " + v.message);
     });
   }
 #endif
 #endif
-  auto hub = std::make_unique<metrics::MetricsHub>();
-  runtime::ExecutionGraph graph(&sim, workload.graph, config.engine,
-                                hub.get());
-  Status st = graph.Build();
-  DRRS_CHECK(st.ok()) << st.ToString();
 
   // Fault machinery: a checkpoint coordinator whenever the schedule needs
   // recovery points, and the injector itself when any fault is declared.
+  // Both are partition-local subsystems; exercise them on single-component
+  // workloads.
+  DRRS_CHECK(partitions == 1 || (!config.faults.any() &&
+                                 config.faults.checkpoints.empty()))
+      << "fault injection/checkpointing require a single-partition workload";
   std::optional<runtime::CheckpointCoordinator> checkpoints;
   if (!config.faults.checkpoints.empty() || !config.faults.crashes.empty()) {
     checkpoints.emplace(&graph);
@@ -136,6 +164,11 @@ ExperimentResult RunExperiment(const workloads::WorkloadSpec& workload,
     service.emplace(&graph, service_options);
     strategy = service->Prepare(op);
     DRRS_CHECK(strategy != nullptr) << "workload scaled_op not rescalable";
+    // The control plane lives on the primary simulator; the scaled operator
+    // (and all operators it exchanges scaling traffic with, which share its
+    // connected component by construction) must be in partition 0.
+    DRRS_CHECK(graph.partition_of(op) == 0)
+        << "scaled operator must live in partition 0";
     sim.ScheduleAt(config.scale_at, [&service, op, &config]() {
       Status s = service->RequestRescale(op, config.target_parallelism);
       if (!s.ok()) {
@@ -151,34 +184,65 @@ ExperimentResult RunExperiment(const workloads::WorkloadSpec& workload,
   std::optional<sim::PeriodicProcess> state_sampler;
   sim::PeriodicProcess* sampler_handle = nullptr;
   if (config.state_sample_period > 0) {
-    state_sampler.emplace(
-        &sim, config.state_sample_period, config.state_sample_period, [&]() {
-          hub->RecordStateBytes(sim.now(), graph.TotalStateBytes());
-          for (runtime::SourceTask* s : graph.sources()) {
-            if (!s->exhausted()) return;
-          }
-          if (sampler_handle != nullptr) sampler_handle->Cancel();
-        });
-    sampler_handle = &*state_sampler;
+    if (partitions == 1) {
+      state_sampler.emplace(
+          &sim, config.state_sample_period, config.state_sample_period, [&]() {
+            hub->RecordStateBytes(sim.now(), graph.TotalStateBytes());
+            for (runtime::SourceTask* s : graph.sources()) {
+              if (!s->exhausted()) return;
+            }
+            if (sampler_handle != nullptr) sampler_handle->Cancel();
+          });
+      sampler_handle = &*state_sampler;
+    } else {
+      // Global timers are engine-level serialization points, so the sampler
+      // sees a consistent cross-partition state snapshot.
+      engine.AddGlobalTimer(
+          config.state_sample_period, config.state_sample_period,
+          [&hub, &graph](sim::SimTime t) {
+            hub->RecordStateBytes(t, graph.TotalStateBytes());
+            for (runtime::SourceTask* s : graph.sources()) {
+              if (!s->exhausted()) return true;
+            }
+            return false;
+          });
+    }
   }
 
   sim::SimTime horizon = config.horizon;
   if (horizon <= 0) horizon = sim::kSimTimeMax;  // run to completion
-  sim.RunUntil(horizon);
+  engine.RunUntil(horizon);
+  graph.MergeHubShards();
 
   ExperimentResult result;
 #if DRRS_AUDIT
-  if (auditor.has_value()) {
-    // Leak checks only make sense once the event queue fully drained.
-    if (horizon == sim::kSimTimeMax) auditor->Finalize();
-    result.audit = auditor->Report();
+  if (!auditors.empty()) {
+    // Leak checks only make sense once the event queues fully drained.
+    if (horizon == sim::kSimTimeMax) {
+      for (auto& a : auditors) a->Finalize();
+    }
+    result.audit = auditors[0]->Report();
+    for (size_t p = 1; p < auditors.size(); ++p) {
+      result.audit.MergeFrom(auditors[p]->Report());
+    }
   }
 #endif
 #if DRRS_TRACE
-  result.trace_events = tracer->event_count();
-  result.flight_dumps = tracer->flight_dumps();
+  for (const auto& t : tracers) {
+    result.trace_events += t->event_count();
+    result.flight_dumps += t->flight_dumps();
+  }
   if (!config.trace_path.empty()) {
-    Status trace_st = tracer->ExportJson(config.trace_path);
+    Status trace_st;
+    if (tracers.size() == 1) {
+      trace_st = tracers[0]->ExportJson(config.trace_path);
+    } else {
+      std::vector<const trace::Tracer*> secondary;
+      for (size_t p = 1; p < tracers.size(); ++p) {
+        secondary.push_back(tracers[p].get());
+      }
+      trace_st = tracers[0]->ExportMergedJson(config.trace_path, secondary);
+    }
     if (!trace_st.ok()) {
       DRRS_LOG(Error) << "trace export failed: " << trace_st.ToString();
     }
@@ -224,7 +288,7 @@ ExperimentResult RunExperiment(const workloads::WorkloadSpec& workload,
   result.invariants = hub->invariants();
   result.source_records = hub->source_rate().total();
   result.sink_records = hub->sink_rate().total();
-  result.executed_events = sim.executed_events();
+  result.executed_events = engine.ExecutedEvents();
   runtime::ExecutionGraph::DeliveryStats delivery = graph.TotalDeliveryStats();
   result.delivered_elements = delivery.elements;
   result.delivered_batches = delivery.batches;

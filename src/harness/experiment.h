@@ -49,6 +49,16 @@ struct ExperimentConfig {
   SystemKind system = SystemKind::kDrrs;
   uint32_t target_parallelism = 12;
   sim::SimTime scale_at = sim::Seconds(30);
+  /// Worker threads for the partitioned (PDES) simulation backend. Purely a
+  /// wall-clock knob: the logical partitioning is a function of the job
+  /// graph alone, so results are bit-identical for every value, including 1.
+  /// Speedup requires a workload with multiple disconnected components;
+  /// single-component workloads run on one logical process regardless.
+  uint32_t threads = 1;
+  /// Test hook: per-operator partition assignment overriding the default
+  /// connected-component partitioner (empty = default). Forcing a connected
+  /// job across partitions exercises the remote channel (mailbox) path.
+  std::vector<uint32_t> partition_override;
   /// Simulation horizon; defaults (<=0) to workload duration + 30 s.
   sim::SimTime horizon = 0;
   runtime::EngineConfig engine;

@@ -80,6 +80,12 @@ class ScalingMetrics {
     return unit_transfers_;
   }
 
+  /// Fold a per-partition shard into this instance. Scaling lifecycles are
+  /// confined to one partition, so signal/scale fields take whichever side
+  /// recorded them; stalls and histograms accumulate. Shards must merge in
+  /// canonical partition order.
+  void MergeFrom(const ScalingMetrics& other);
+
  private:
   struct SignalTimes {
     sim::SimTime injection = -1;
@@ -120,6 +126,15 @@ class InvariantMonitor {
   /// strictly increasing; bumps the violation counters otherwise.
   void CheckOrder(dataflow::OperatorId op, dataflow::InstanceId sender,
                   dataflow::KeyT key, uint64_t seq);
+
+  /// Sum violation counters from a per-partition shard (tasks — and thus
+  /// their (op, sender, key) streams — never span partitions, so the
+  /// per-stream sequence maps need no reconciliation).
+  void MergeFrom(const InvariantMonitor& other) {
+    order_violations += other.order_violations;
+    state_miss_processing += other.state_miss_processing;
+    duplicate_processing += other.duplicate_processing;
+  }
 
  private:
   struct SeqKey {
@@ -164,6 +179,23 @@ struct RecoveryMetrics {
                replayed_elements + links_partitioned + links_healed >
            0;
   }
+
+  void MergeFrom(const RecoveryMetrics& o) {
+    chunk_retransmits += o.chunk_retransmits;
+    chunks_dropped += o.chunks_dropped;
+    chunks_duplicated += o.chunks_duplicated;
+    chunks_delayed += o.chunks_delayed;
+    duplicate_installs_suppressed += o.duplicate_installs_suppressed;
+    forced_chunk_installs += o.forced_chunk_installs;
+    scale_aborts += o.scale_aborts;
+    scale_retries += o.scale_retries;
+    scale_cancellations += o.scale_cancellations;
+    crashes_injected += o.crashes_injected;
+    crash_recoveries += o.crash_recoveries;
+    replayed_elements += o.replayed_elements;
+    links_partitioned += o.links_partitioned;
+    links_healed += o.links_healed;
+  }
 };
 
 /// \brief Central sink for all measurements of one simulated run.
@@ -199,6 +231,21 @@ class MetricsHub {
     state_bytes_.Push(t, static_cast<double>(bytes));
   }
   const TimeSeries& state_bytes() const { return state_bytes_; }
+
+  /// Fold a per-partition shard into this hub: series stable-merge by time,
+  /// rate buckets and histograms accumulate, counters sum. The PDES harness
+  /// calls this once per shard, in partition order, after the run — the
+  /// single deterministic merge point for partition-accumulated metrics.
+  void MergeFrom(const MetricsHub& other) {
+    latency_.MergeFrom(other.latency_);
+    latency_hist_.MergeFrom(other.latency_hist_);
+    state_bytes_.MergeFrom(other.state_bytes_);
+    source_rate_.MergeFrom(other.source_rate_);
+    sink_rate_.MergeFrom(other.sink_rate_);
+    scaling_.MergeFrom(other.scaling_);
+    invariants_.MergeFrom(other.invariants_);
+    recovery_.MergeFrom(other.recovery_);
+  }
 
   ScalingMetrics& scaling() { return scaling_; }
   const ScalingMetrics& scaling() const { return scaling_; }

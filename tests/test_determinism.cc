@@ -4,14 +4,18 @@
 #include <gtest/gtest.h>
 
 #include <memory>
+#include <random>
 #include <string>
 #include <vector>
 
+#include "common/logging.h"
 #include "common/ring_buffer.h"
 #include "harness/experiment.h"
 #include "net/channel.h"
 #include "sim/event_callback.h"
 #include "state/keyed_state.h"
+#include "workloads/generators.h"
+#include "workloads/operators.h"
 #include "workloads/workloads.h"
 
 namespace drrs {
@@ -86,6 +90,131 @@ TEST(Determinism, GoldenSameSeedRunsAreBitIdentical) {
       << "every record was a singleton batch; coalescing never fired";
   EXPECT_EQ(a.delivered_elements, b.delivered_elements);
   EXPECT_EQ(a.delivered_batches, b.delivered_batches);
+}
+
+// ---------------------------------------------------------------------------
+// Cross-thread determinism: with the partitioned simulation backend the
+// thread count must never be observable. The golden workload re-runs at
+// --threads equivalents 2 and 4 and every series must stay bit-identical.
+// ---------------------------------------------------------------------------
+
+TEST(Determinism, GoldenRunIsThreadCountInvariant) {
+  harness::ExperimentConfig c;
+  c.system = harness::SystemKind::kDrrs;
+  c.target_parallelism = 6;
+  c.scale_at = sim::Seconds(10);
+  c.restab_hold = sim::Seconds(5);
+
+  auto t1 = harness::RunExperiment(MidWorkload(), c);
+  c.threads = 2;
+  auto t2 = harness::RunExperiment(MidWorkload(), c);
+  c.threads = 4;
+  auto t4 = harness::RunExperiment(MidWorkload(), c);
+
+  for (const auto* other : {&t2, &t4}) {
+    EXPECT_EQ(t1.source_records, other->source_records);
+    EXPECT_EQ(t1.sink_records, other->sink_records);
+    EXPECT_EQ(t1.executed_events, other->executed_events);
+    EXPECT_EQ(t1.delivered_elements, other->delivered_elements);
+    EXPECT_EQ(t1.delivered_batches, other->delivered_batches);
+    EXPECT_EQ(t1.mechanism_duration, other->mechanism_duration);
+    EXPECT_EQ(t1.trace_events, other->trace_events);
+    ExpectSeriesBitIdentical(t1.hub->latency_ms(), other->hub->latency_ms(),
+                             "latency_ms");
+    ExpectSeriesBitIdentical(t1.hub->state_bytes(), other->hub->state_bytes(),
+                             "state_bytes");
+  }
+}
+
+// Property test: seeded random multi-component topologies (random chain
+// lengths, parallelisms, rates per component) must produce bit-identical
+// runs across thread counts. Exercises the component partitioner and the
+// canonical metric/trace merges on shapes no golden pins down.
+workloads::WorkloadSpec RandomTopology(uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  auto pick = [&rng](uint32_t lo, uint32_t hi) {
+    return lo + static_cast<uint32_t>(rng() % (hi - lo + 1));
+  };
+  const uint32_t components = pick(2, 5);
+  dataflow::JobGraph graph(64);
+  dataflow::OperatorId scaled_op = 0;
+
+  for (uint32_t cidx = 0; cidx < components; ++cidx) {
+    workloads::RateGenerator::Params gen;
+    gen.events_per_second = 500 * pick(1, 4);
+    gen.num_keys = 100 * pick(1, 5);
+    gen.key_skew = 0.2 * pick(0, 3);
+    gen.duration = sim::Seconds(pick(6, 10));
+    gen.seed = rng();
+
+    dataflow::OperatorSpec source;
+    source.name = "src-" + std::to_string(cidx);
+    source.parallelism = pick(1, 2);
+    source.is_source = true;
+    source.record_cost = sim::Micros(10);
+    source.source_factory = workloads::MakeRateGeneratorFactory(gen);
+    dataflow::OperatorId prev = graph.AddOperator(std::move(source));
+
+    const uint32_t maps = pick(0, 2);
+    for (uint32_t m = 0; m < maps; ++m) {
+      dataflow::OperatorSpec map;
+      map.name = "map-" + std::to_string(cidx) + "-" + std::to_string(m);
+      map.parallelism = pick(1, 3);
+      map.record_cost = sim::Micros(20);
+      map.factory = []() {
+        return std::make_unique<workloads::MapOperator>();
+      };
+      dataflow::OperatorId id = graph.AddOperator(std::move(map));
+      DRRS_CHECK(
+          graph.Connect(prev, id, dataflow::Partitioning::kRebalance).ok());
+      prev = id;
+    }
+
+    dataflow::OperatorSpec agg;
+    agg.name = "agg-" + std::to_string(cidx);
+    agg.parallelism = pick(2, 4);
+    agg.is_stateful = true;
+    agg.record_cost = sim::Micros(100 * pick(1, 3));
+    agg.emit_cost = sim::Micros(2);
+    agg.factory = []() {
+      return std::make_unique<workloads::KeyedAggregateOperator>(512);
+    };
+    dataflow::OperatorId agg_id = graph.AddOperator(std::move(agg));
+    DRRS_CHECK(graph.Connect(prev, agg_id, dataflow::Partitioning::kHash).ok());
+    if (cidx == 0) scaled_op = agg_id;
+
+    dataflow::OperatorSpec sink;
+    sink.name = "sink-" + std::to_string(cidx);
+    sink.parallelism = 1;
+    sink.is_sink = true;
+    sink.record_cost = sim::Micros(5);
+    dataflow::OperatorId sk = graph.AddOperator(std::move(sink));
+    DRRS_CHECK(
+        graph.Connect(agg_id, sk, dataflow::Partitioning::kRebalance).ok());
+  }
+  return workloads::WorkloadSpec{"random-" + std::to_string(seed),
+                                 std::move(graph), scaled_op};
+}
+
+TEST(Determinism, RandomTopologiesAreThreadCountInvariant) {
+  for (uint64_t seed : {11u, 23u, 47u}) {
+    harness::ExperimentConfig c;
+    c.system = harness::SystemKind::kNoScale;
+    c.scale_at = sim::Seconds(3);
+    auto t1 = harness::RunExperiment(RandomTopology(seed), c);
+    c.threads = 3;
+    auto t3 = harness::RunExperiment(RandomTopology(seed), c);
+
+    EXPECT_GT(t1.source_records, 0u) << "seed " << seed;
+    EXPECT_EQ(t1.source_records, t3.source_records) << "seed " << seed;
+    EXPECT_EQ(t1.sink_records, t3.sink_records) << "seed " << seed;
+    EXPECT_EQ(t1.executed_events, t3.executed_events) << "seed " << seed;
+    EXPECT_EQ(t1.trace_events, t3.trace_events) << "seed " << seed;
+    ExpectSeriesBitIdentical(t1.hub->latency_ms(), t3.hub->latency_ms(),
+                             "latency_ms seed " + std::to_string(seed));
+    ExpectSeriesBitIdentical(t1.hub->state_bytes(), t3.hub->state_bytes(),
+                             "state_bytes seed " + std::to_string(seed));
+  }
 }
 
 TEST(Determinism, EngineHotPathNeverHeapAllocatesCallbacks) {

@@ -19,14 +19,32 @@ contract, and this lint forbids them under the decision-path directories
      ASLR. Either way the event sequence stops being a function of the
      input alone.
 
-A finding can be waived only when the iteration is provably
-order-independent (e.g. a pure min/sum fold) by annotating the loop line
-or the line above it:
+The partitioned simulation backend adds two thread rules, scoped to
+src/sim and src/net (the only directories that may run on worker
+threads):
+
+  4. thread-hazard — logic keyed on thread identity: std::this_thread,
+     std::thread::id / .get_id(), pthread_self(), thread_local. Which
+     worker runs a partition is a scheduling accident; any decision that
+     reads it makes output depend on thread count. Never waivable.
+  5. thread-shared-state — declarations of cross-thread mutable state
+     (std::mutex, std::condition_variable, std::atomic, std::thread,
+     non-const statics). Shared mutable state is where nondeterminism
+     enters a parallel run, so every instance must be deliberate: the
+     mailbox lanes and the worker-pool rendezvous are the sanctioned
+     sites, waived in place.
+
+A finding can be waived only when it is provably benign (e.g. an
+order-independent fold, or mailbox internals drained in canonical order
+at a barrier) by annotating the flagged line or the line above it:
 
     // lint:allow(unordered-iteration): pure min-fold; order-independent.
+    // lint:allow(thread-shared-state): lane mutex; drained at barriers.
 
-The reason text is mandatory. Wall-clock and RNG findings are not
-waivable.
+A thread-shared-state waiver also covers a contiguous run of flagged
+declarations directly beneath it (a mutex + the condvars it guards reads
+as one sanctioned group). The reason text is mandatory. Wall-clock, RNG
+and thread-hazard findings are not waivable.
 
 Exit status: 0 when clean, 1 when findings exist, 2 on usage errors.
 """
@@ -84,6 +102,32 @@ IDENTIFIER = re.compile(r"[A-Za-z_]\w*")
 ALLOW = re.compile(r"//\s*lint:allow\(unordered-iteration\):\s*\S")
 DECL_NAME = re.compile(r">\s+(\w+)\s*(;|=|\{)")
 
+# ---- rules 4+5: threading (src/sim + src/net only) -------------------------
+THREAD_RULE_DIRS = ("src/sim", "src/net")
+THREAD_HAZARD = re.compile(
+    r"std::this_thread"
+    r"|std::thread::id"
+    r"|\.get_id\s*\("
+    r"|\bpthread_self\s*\("
+    r"|\bthread_local\b"
+)
+# Declarations of cross-thread mutable state. The `[^<>(]*\s\w+\s*[;{=(]`
+# tail requires a declared name, which keeps `std::lock_guard<std::mutex>`
+# and other template-argument mentions from matching.
+SHARED_MUTABLE = re.compile(
+    r"std::(mutex|recursive_mutex|shared_mutex|timed_mutex"
+    r"|condition_variable(_any)?|thread)\b[^<>(]*\s\w+\s*[;{=]"
+    r"|std::atomic\s*<"
+    r"|std::vector\s*<\s*std::thread\s*>"
+)
+# An atomic appearing only as a reference/return type is plumbing, not a new
+# shared-state site; the declaration it refers to is flagged where it lives.
+ATOMIC_REF = re.compile(r"std::atomic\s*<[^<>]*>\s*&")
+# Mutable static storage: `static` (optionally inline) not const/constexpr.
+# Function declarations/static_assert carry a `(` and are excluded below.
+MUTABLE_STATIC = re.compile(r"^\s*(inline\s+)?static\s+(?!const\b|constexpr\b)")
+ALLOW_THREAD = re.compile(r"//\s*lint:allow\(thread-shared-state\):\s*\S")
+
 KEYWORDS = {
     "auto", "const", "if", "else", "for", "while", "return", "break",
     "continue", "size_t", "int", "bool", "char", "float", "double", "this",
@@ -131,12 +175,48 @@ def read_lines(path):
         sys.exit(2)
 
 
+def in_thread_scope(path):
+    normalized = path.replace(os.sep, "/")
+    return any(f"{d}/" in normalized for d in THREAD_RULE_DIRS)
+
+
 def lint_file(path, lines, hazardous):
     findings = []
+    thread_scope = in_thread_scope(path)
+    # Thread-shared-state waivers extend through a contiguous run of flagged
+    # declarations: track which prior line indexes (0-based) were waived.
+    thread_waived = set()
     for idx, raw in enumerate(lines, start=1):
         # Strip line comments so commented-out code can't trip the rules,
         # but keep the comment text around for the allow check.
         code = raw.split("//", 1)[0]
+
+        if thread_scope:
+            m = THREAD_HAZARD.search(code)
+            if m:
+                findings.append(Finding(
+                    path, idx, "thread-hazard",
+                    f"thread-identity-dependent logic `{m.group(0).strip()}`; "
+                    "which worker runs a partition is a scheduling accident "
+                    "and must not influence simulation decisions (not "
+                    "waivable)"))
+            shared = SHARED_MUTABLE.search(code) and not ATOMIC_REF.search(code)
+            if not shared and "(" not in code:
+                shared = MUTABLE_STATIC.search(code)
+            if shared:
+                i = idx - 1  # 0-based index of this line
+                waived = (ALLOW_THREAD.search(lines[i])
+                          or (i > 0 and (ALLOW_THREAD.search(lines[i - 1])
+                                         or i - 1 in thread_waived)))
+                if waived:
+                    thread_waived.add(i)
+                else:
+                    findings.append(Finding(
+                        path, idx, "thread-shared-state",
+                        "cross-thread mutable state declared outside a "
+                        "sanctioned site; waive with `// lint:allow("
+                        "thread-shared-state): <reason>` if access is "
+                        "barrier-ordered or otherwise deterministic"))
 
         m = WALL_CLOCK.search(code)
         if m:

@@ -27,11 +27,15 @@ import json
 import sys
 
 
-def load_baseline(path):
+def load_baseline(path, suite):
     """Return (results_dict, row_label) from BENCH_engine.json.
 
     Accepts the history format ({"history": [{"row": ..., "results": ...}]})
-    and the legacy single-document format ({"results": {...}}).
+    and the legacy single-document format ({"results": {...}}). History rows
+    are per-suite: a row's "bench" field (default "bench_event_engine" for
+    rows predating suites) must match the candidate's; the gate uses the LAST
+    matching row. Returns (None, None) when no row matches (a new suite's
+    first run has nothing to gate against).
     """
     with open(path, encoding="utf-8") as f:
         doc = json.load(f)
@@ -39,8 +43,10 @@ def load_baseline(path):
         if not doc["history"]:
             print(f"error: {path} has an empty history", file=sys.stderr)
             sys.exit(2)
-        row = doc["history"][-1]
-        return row["results"], row.get("row", "<unlabeled>")
+        for row in reversed(doc["history"]):
+            if row.get("bench", "bench_event_engine") == suite:
+                return row["results"], row.get("row", "<unlabeled>")
+        return None, None
     if "results" in doc:
         return doc["results"], "<legacy single row>"
     print(f"error: {path}: neither 'history' nor 'results'", file=sys.stderr)
@@ -53,7 +59,7 @@ def load_candidate(path):
     if "results" not in doc:
         print(f"error: {path}: no 'results'", file=sys.stderr)
         sys.exit(2)
-    return doc["results"]
+    return doc
 
 
 def main():
@@ -68,13 +74,60 @@ def main():
     parser.add_argument("--alloc-tol", type=float, default=0.10,
                         help="relative tolerance on allocs_per_item "
                              "(default 0.10, plus 0.005 absolute slack)")
+    parser.add_argument("--min-pdes-speedup", type=float, default=2.0,
+                        help="minimum 4-thread wall-clock speedup for the "
+                             "pdes scaling bench (default 2.0)")
+    parser.add_argument("--pdes-min-cores", type=int, default=4,
+                        help="only enforce --min-pdes-speedup when the "
+                             "candidate machine reports at least this many "
+                             "hardware threads (default 4)")
     args = parser.parse_args()
 
-    baseline, row_label = load_baseline(args.baseline)
-    candidate = load_candidate(args.candidate)
+    doc = load_candidate(args.candidate)
+    candidate = doc["results"]
+    suite = doc.get("bench", "bench_event_engine")
+    baseline, row_label = load_baseline(args.baseline, suite)
+
+    failures = []
+
+    # Absolute gate on the PDES parallel speedup, independent of any baseline
+    # row. Wall-clock parallelism needs real cores: a 1-core container runs
+    # 4 workers at ~1x by construction, so the ratio check is conditional on
+    # the candidate machine (recorded in the bench's `cores` field).
+    pdes = doc.get("pdes")
+    if pdes is not None:
+        if not pdes.get("fingerprint_ok", False):
+            failures.append("pdes: thread count leaked into simulation "
+                            "results (fingerprint mismatch)")
+        cores = pdes.get("cores", 0)
+        speedup = pdes.get("speedup_4t", 0.0)
+        if cores >= args.pdes_min_cores:
+            ok = speedup >= args.min_pdes_speedup
+            print(f"  pdes speedup @4t: {speedup:.2f}x on {cores} cores "
+                  f"(floor {args.min_pdes_speedup:.2f}x) "
+                  f"{'OK' if ok else 'FAIL'}")
+            if not ok:
+                failures.append(
+                    f"pdes: 4-thread speedup {speedup:.2f}x < "
+                    f"{args.min_pdes_speedup:.2f}x on {cores} cores")
+        else:
+            print(f"  pdes speedup @4t: {speedup:.2f}x — informational only "
+                  f"({cores} cores < {args.pdes_min_cores})")
+
+    if baseline is None:
+        print(f"perf_gate: no '{suite}' row in {args.baseline} yet — "
+              "first run of a new suite, results gate from the row that "
+              "first records them")
+        if failures:
+            print(f"\nperf_gate: {len(failures)} regression(s):",
+                  file=sys.stderr)
+            for f in failures:
+                print(f"  {f}", file=sys.stderr)
+            return 1
+        print("perf_gate: OK")
+        return 0
 
     print(f"perf_gate: baseline row '{row_label}' from {args.baseline}")
-    failures = []
     for name in sorted(baseline):
         if name not in candidate:
             failures.append(f"{name}: present in baseline but missing from "
