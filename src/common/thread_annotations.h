@@ -1,0 +1,196 @@
+#ifndef DRRS_COMMON_THREAD_ANNOTATIONS_H_
+#define DRRS_COMMON_THREAD_ANNOTATIONS_H_
+
+/// Clang Thread Safety Analysis annotations for the PDES engine's sanctioned
+/// shared-state sites (mailbox lanes, worker-pool rendezvous, metrics shard
+/// merge, remote-channel barrier replay).
+///
+/// The determinism contract of the partitioned backend — "--threads=N is a
+/// wall-clock knob only" — rests on a handful of carefully fenced pieces of
+/// cross-thread state. These macros move the fencing rules from comments and
+/// the regex lint into the compiler: under `-DDRRS_THREAD_SAFETY=ON` (Clang
+/// only) every access to a `DRRS_GUARDED_BY` field without its mutex, and
+/// every call to a `DRRS_REQUIRES` function without its capability, is a
+/// *build error* (`-Werror=thread-safety`). Under GCC — which has no thread
+/// safety analysis — every macro expands to nothing and the wrappers below
+/// compile to thin zero-cost shims over the std primitives, so the default
+/// toolchain is unaffected. The CI `static-analysis / thread-safety` leg
+/// pins a Clang toolchain and keeps the annotations from rotting; the
+/// negative-compile fixture (tests/static/) additionally proves the macros
+/// still expand to real attributes there.
+///
+/// Vocabulary follows the Clang docs' capability model
+/// (https://clang.llvm.org/docs/ThreadSafetyAnalysis.html); the macro names
+/// carry a DRRS_ prefix so grep distinguishes our discipline from abseil's.
+
+#if defined(__clang__) && defined(__has_attribute)
+#if __has_attribute(guarded_by)
+#define DRRS_THREAD_ANNOTATION_(x) __attribute__((x))
+#endif
+#endif
+#ifndef DRRS_THREAD_ANNOTATION_
+#define DRRS_THREAD_ANNOTATION_(x)  // no-op: GCC and pre-TSA Clang
+#endif
+
+/// Declares a type to be a capability (lockable). `x` names the capability
+/// kind in diagnostics ("mutex", "role").
+#define DRRS_CAPABILITY(x) DRRS_THREAD_ANNOTATION_(capability(x))
+
+/// RAII types that acquire a capability in the constructor and release it in
+/// the destructor.
+#define DRRS_SCOPED_CAPABILITY DRRS_THREAD_ANNOTATION_(scoped_lockable)
+
+/// Field is protected by the given capability: reads require it held
+/// (shared or exclusive), writes require it held exclusively.
+#define DRRS_GUARDED_BY(x) DRRS_THREAD_ANNOTATION_(guarded_by(x))
+
+/// Pointer field whose *pointee* is protected by the capability.
+#define DRRS_PT_GUARDED_BY(x) DRRS_THREAD_ANNOTATION_(pt_guarded_by(x))
+
+/// Function requires the capability held on entry (and does not release it).
+#define DRRS_REQUIRES(...) \
+  DRRS_THREAD_ANNOTATION_(requires_capability(__VA_ARGS__))
+#define DRRS_REQUIRES_SHARED(...) \
+  DRRS_THREAD_ANNOTATION_(requires_shared_capability(__VA_ARGS__))
+
+/// Function acquires / releases the capability (itself when no argument).
+#define DRRS_ACQUIRE(...) \
+  DRRS_THREAD_ANNOTATION_(acquire_capability(__VA_ARGS__))
+#define DRRS_RELEASE(...) \
+  DRRS_THREAD_ANNOTATION_(release_capability(__VA_ARGS__))
+#define DRRS_TRY_ACQUIRE(...) \
+  DRRS_THREAD_ANNOTATION_(try_acquire_capability(__VA_ARGS__))
+
+/// Function must NOT be called with the capability held (deadlock guard).
+#define DRRS_EXCLUDES(...) DRRS_THREAD_ANNOTATION_(locks_excluded(__VA_ARGS__))
+
+/// Function returns a reference to the named capability.
+#define DRRS_RETURN_CAPABILITY(x) DRRS_THREAD_ANNOTATION_(lock_returned(x))
+
+/// Escape hatch: disables analysis inside one function. Every use must carry
+/// a justification comment and be listed in DESIGN.md §9.
+#define DRRS_NO_THREAD_SAFETY_ANALYSIS \
+  DRRS_THREAD_ANNOTATION_(no_thread_safety_analysis)
+
+#include <condition_variable>
+#include <mutex>
+
+namespace drrs {
+
+/// std::mutex wrapper carrying the `mutex` capability. libstdc++'s own
+/// std::mutex has no TSA attributes, so guarded fields must name one of
+/// these. Method names follow BasicLockable casing so std::lock_guard /
+/// std::scoped_lock remain usable (though MutexLock below is preferred —
+/// it is the annotated RAII form).
+class DRRS_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() DRRS_ACQUIRE() { mu_.lock(); }
+  void unlock() DRRS_RELEASE() { mu_.unlock(); }
+  bool try_lock() DRRS_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+  /// Underlying handle, for CondVar's adopt-lock bridge only.
+  std::mutex& native_handle() { return mu_; }
+
+ private:
+  std::mutex mu_;
+};
+
+/// Annotated lock_guard: acquires in the constructor, releases in the
+/// destructor, and tells the analysis so.
+class DRRS_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) DRRS_ACQUIRE(mu) : mu_(mu) { mu_.lock(); }
+  ~MutexLock() DRRS_RELEASE() { mu_.unlock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex& mu_;
+};
+
+/// Condition variable over drrs::Mutex. Wait() bridges to the wrapped
+/// std::mutex with adopt/release semantics, so the fast notify path stays
+/// std::condition_variable (no condition_variable_any overhead).
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  /// Atomically release `mu`, block, and reacquire before returning. The
+  /// capability never escapes: the analysis treats the wait as performed
+  /// entirely under the mutex (which matches what callers may assume).
+  void Wait(Mutex& mu) DRRS_REQUIRES(mu) {
+    std::unique_lock<std::mutex> bridge(mu.native_handle(), std::adopt_lock);
+    cv_.wait(bridge);
+    bridge.release();  // the caller's scope still owns the mutex
+  }
+
+  /// Predicate form: loops Wait until `pred()` holds.
+  template <typename Pred>
+  void Wait(Mutex& mu, Pred pred) DRRS_REQUIRES(mu) {
+    while (!pred()) Wait(mu);
+  }
+
+  void NotifyOne() { cv_.notify_one(); }
+  void NotifyAll() { cv_.notify_all(); }
+
+ private:
+  std::condition_variable cv_;
+};
+
+/// \brief A *role* capability with no runtime state: the engine's serial
+/// phase.
+///
+/// The PDES engine alternates between parallel windows (workers executing
+/// partitions concurrently) and serial phases (the coordinator running alone
+/// with every worker parked at the barrier: mailbox replay, global timers,
+/// the post-run metrics-shard merge). A family of operations is legal *only*
+/// in the serial phase — Channel::AcceptRemote / ApplyRemoteCredits, the
+/// MetricsHub shard merges — yet none of them takes a lock: their safety is
+/// the phase discipline itself. Modeling the phase as a capability lets the
+/// compiler enforce the discipline: such functions are DRRS_REQUIRES
+/// (kEngineSerialPhase), and only the engine's barrier scope (and the
+/// harness's post-run merge point) may acquire it.
+///
+/// Acquire/Release are no-ops at runtime; the class exists purely so the
+/// analysis has an object to track.
+class DRRS_CAPABILITY("role") PhaseCapability {
+ public:
+  void Acquire() DRRS_ACQUIRE() {}
+  void Release() DRRS_RELEASE() {}
+};
+
+/// The engine serial phase: coordinator-only, all workers parked. Empty and
+/// stateless — safe as an inline global.
+inline PhaseCapability kEngineSerialPhase;
+
+/// RAII assertion of the serial phase. Constructing one documents — and
+/// under analysis, *proves to callees* — that the current code runs in a
+/// serial phase. Only the engine barrier paths and the post-run merge point
+/// may construct it; the drrs-tidy `drrs-audit-hook-coverage` fixture tree
+/// and DESIGN.md §9 list the sanctioned sites.
+class DRRS_SCOPED_CAPABILITY SerialPhaseScope {
+ public:
+  explicit SerialPhaseScope(PhaseCapability& phase)
+      DRRS_ACQUIRE(phase)
+      : phase_(phase) {
+    phase_.Acquire();
+  }
+  ~SerialPhaseScope() DRRS_RELEASE() { phase_.Release(); }
+
+  SerialPhaseScope(const SerialPhaseScope&) = delete;
+  SerialPhaseScope& operator=(const SerialPhaseScope&) = delete;
+
+ private:
+  PhaseCapability& phase_;
+};
+
+}  // namespace drrs
+
+#endif  // DRRS_COMMON_THREAD_ANNOTATIONS_H_

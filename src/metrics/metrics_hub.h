@@ -7,6 +7,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/thread_annotations.h"
 #include "dataflow/stream_element.h"
 #include "metrics/histogram.h"
 #include "metrics/timeseries.h"
@@ -83,8 +84,10 @@ class ScalingMetrics {
   /// Fold a per-partition shard into this instance. Scaling lifecycles are
   /// confined to one partition, so signal/scale fields take whichever side
   /// recorded them; stalls and histograms accumulate. Shards must merge in
-  /// canonical partition order.
-  void MergeFrom(const ScalingMetrics& other);
+  /// canonical partition order, in the engine serial phase (all workers
+  /// parked) — enforced at compile time under DRRS_THREAD_SAFETY.
+  void MergeFrom(const ScalingMetrics& other)
+      DRRS_REQUIRES(kEngineSerialPhase);
 
  private:
   struct SignalTimes {
@@ -129,8 +132,9 @@ class InvariantMonitor {
 
   /// Sum violation counters from a per-partition shard (tasks — and thus
   /// their (op, sender, key) streams — never span partitions, so the
-  /// per-stream sequence maps need no reconciliation).
-  void MergeFrom(const InvariantMonitor& other) {
+  /// per-stream sequence maps need no reconciliation). Serial phase only.
+  void MergeFrom(const InvariantMonitor& other)
+      DRRS_REQUIRES(kEngineSerialPhase) {
     order_violations += other.order_violations;
     state_miss_processing += other.state_miss_processing;
     duplicate_processing += other.duplicate_processing;
@@ -180,7 +184,7 @@ struct RecoveryMetrics {
            0;
   }
 
-  void MergeFrom(const RecoveryMetrics& o) {
+  void MergeFrom(const RecoveryMetrics& o) DRRS_REQUIRES(kEngineSerialPhase) {
     chunk_retransmits += o.chunk_retransmits;
     chunks_dropped += o.chunks_dropped;
     chunks_duplicated += o.chunks_duplicated;
@@ -236,7 +240,11 @@ class MetricsHub {
   /// rate buckets and histograms accumulate, counters sum. The PDES harness
   /// calls this once per shard, in partition order, after the run — the
   /// single deterministic merge point for partition-accumulated metrics.
-  void MergeFrom(const MetricsHub& other) {
+  /// Requires the engine serial phase: merging while any worker still runs
+  /// would race the shard being folded AND make the result order-dependent,
+  /// so under DRRS_THREAD_SAFETY the call is a compile error without the
+  /// phase token (ExecutionGraph::MergeHubShards is the sanctioned caller).
+  void MergeFrom(const MetricsHub& other) DRRS_REQUIRES(kEngineSerialPhase) {
     latency_.MergeFrom(other.latency_);
     latency_hist_.MergeFrom(other.latency_hist_);
     state_bytes_.MergeFrom(other.state_bytes_);

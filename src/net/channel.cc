@@ -99,6 +99,9 @@ void Channel::AcceptRemote(sim::SimTime arrival, StreamElement element,
     remote_bypass_.push_back(WireEntry{arrival, std::move(element)});
     ArmRemoteBypassEvent();
   } else {
+    // NOLINTNEXTLINE(drrs-audit-hook-coverage): ingress was audited on the
+    // sender (OnElementRemotelyDeparted); delivery is the receiver-side
+    // observation point (DeliverRemoteDueBatch).
     remote_in_.push_back(WireEntry{arrival, std::move(element)});
     ArmRemoteWireEvent();
   }
@@ -188,6 +191,9 @@ bool Channel::OutputContains(
 StreamElement Channel::PopInput() {
   DRRS_CHECK(!input_queue_.empty());
   StreamElement e = std::move(input_queue_.front());
+  // NOLINTNEXTLINE(drrs-audit-hook-coverage): consumption is observed at
+  // delivery (OnElementDelivered) and extraction (OnElementsExtracted);
+  // the pop itself is credit bookkeeping via NotifyInputConsumed().
   input_queue_.pop_front();
   NotifyInputConsumed();
   return e;

@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "common/ring_deque.h"
+#include "common/thread_annotations.h"
 #include "dataflow/stream_element.h"
 #include "sim/sim_time.h"
 #include "sim/simulator.h"
@@ -188,13 +189,18 @@ class Channel {
   /// append one arrival to the receiver-side FIFO and arm its delivery
   /// event on the receiver simulator. Arrivals are nondecreasing per
   /// channel (lane FIFO preserves send order; the serializer model makes
-  /// arrival monotone in send order).
+  /// arrival monotone in send order). Requires the engine serial phase:
+  /// replay touches receiver-partition state, which is legal only with
+  /// every worker parked — under DRRS_THREAD_SAFETY a call without the
+  /// phase token is a compile error.
   void AcceptRemote(sim::SimTime arrival, dataflow::StreamElement element,
-                    bool bypass);
+                    bool bypass) DRRS_REQUIRES(kEngineSerialPhase);
 
   /// Coordinator-side credit replay: return `n` credits to the sender and
   /// re-attempt transmission (which may post fresh mailbox entries).
-  void ApplyRemoteCredits(uint32_t n);
+  /// Serial-phase only, like AcceptRemote: it mutates the sender-held
+  /// credit counter from the coordinator thread.
+  void ApplyRemoteCredits(uint32_t n) DRRS_REQUIRES(kEngineSerialPhase);
 
   // ---- receiver side ----
 
@@ -296,7 +302,10 @@ class Channel {
   uint32_t receiver_partition_ = 0;
   /// Credits consumed but not yet returned by the receiver. Written by the
   /// sender's worker (TryTransmit) and the coordinator (ApplyRemoteCredits
-  /// at barriers, workers parked) — never concurrently.
+  /// at barriers, workers parked) — never concurrently. The two writers
+  /// alternate by *phase*, not by lock, so no GUARDED_BY applies; the
+  /// coordinator half of the alternation is enforced by the serial-phase
+  /// requirement on ApplyRemoteCredits above.
   size_t remote_unacked_ = 0;
   /// Receiver-side FIFOs of replayed mailbox arrivals; storage lives in the
   /// receiver partition's arena. Same single-armed-event scheme as wire_.

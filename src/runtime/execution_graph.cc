@@ -46,6 +46,10 @@ metrics::MetricsHub* ExecutionGraph::hub_shard(uint32_t p) {
 }
 
 void ExecutionGraph::MergeHubShards() {
+  // Post-run merge point: RunExperiment calls this after the engine loop
+  // returned, i.e. with every worker parked — the serial-phase claim below
+  // is what licenses the otherwise-unsynchronized shard reads.
+  SerialPhaseScope serial(kEngineSerialPhase);
   for (auto& shard : hub_shards_) hub_->MergeFrom(*shard);
 }
 

@@ -460,7 +460,7 @@ void Task::RecomputeWatermark() {
   }
   if (channel_watermarks_.size() < regular) return;
   sim::SimTime wm = sim::kSimTimeMax;
-  // lint:allow(unordered-iteration): pure min-fold; order-independent.
+  // NOLINTNEXTLINE(drrs-unordered-iteration): pure min-fold; order-independent.
   for (const auto& [ch, v] : channel_watermarks_) wm = std::min(wm, v);
   // Side watermarks (from instances still migrating state to us) hold the
   // operator watermark back until their scaling path completes.

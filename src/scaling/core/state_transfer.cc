@@ -181,6 +181,9 @@ bool StateTransfer::Install(runtime::Task* to, const StreamElement& chunk) {
     return false;
   }
   Transit transit = std::move(it->second);
+  // NOLINTNEXTLINE(drrs-audit-hook-coverage): OnChunkInstalled fires after
+  // the merge below completes — past the lexical pairing window, but still
+  // in this function, and only on the success path this erase commits to.
   in_transit_.erase(it);
   ReleaseWireBuffer(&transit);
   DRRS_CHECK(to->state() != nullptr);
@@ -190,7 +193,7 @@ bool StateTransfer::Install(runtime::Task* to, const StreamElement& chunk) {
   } else {
     // Merge cells only; the caller manages (sub-)ownership. Each key lands
     // in its own cell, so the merge commutes.
-    // lint:allow(unordered-iteration): commutative per-key merge.
+    // NOLINTNEXTLINE(drrs-unordered-iteration): commutative per-key merge.
     for (auto& [key, cell] : transit.state.cells) {
       *to->state()->GetOrCreate(chunk.key_group, key) = std::move(cell);
     }
@@ -213,6 +216,8 @@ size_t StateTransfer::ForceComplete(dataflow::ScaleId scale,
     }
     Transit transit = std::move(it->second);
     uint64_t id = it->first;
+    // NOLINTNEXTLINE(drrs-audit-hook-coverage): OnChunkForceInstalled fires
+    // at the end of this loop body, after the forced install lands.
     it = in_transit_.erase(it);
     ReleaseWireBuffer(&transit);
     runtime::Task* to = graph->task(transit.to);
@@ -221,7 +226,7 @@ size_t StateTransfer::ForceComplete(dataflow::ScaleId scale,
     if (transit.whole_group) {
       to->state()->InstallKeyGroup(std::move(transit.state));
     } else {
-      // lint:allow(unordered-iteration): commutative per-key merge.
+      // NOLINTNEXTLINE(drrs-unordered-iteration): commutative per-key merge.
       for (auto& [key, cell] : transit.state.cells) {
         *to->state()->GetOrCreate(transit.chunk.key_group, key) =
             std::move(cell);

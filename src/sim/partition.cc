@@ -15,11 +15,14 @@ PdesEngine::PdesEngine(Simulator* primary, const Options& options)
 
 PdesEngine::~PdesEngine() {
   {
-    std::lock_guard<std::mutex> l(pool_mu_);
+    MutexLock l(pool_mu_);
     shutdown_ = true;
   }
-  cv_work_.notify_all();
+  cv_work_.NotifyAll();
   for (std::thread& t : workers_) t.join();
+  // Every worker has joined: the destructor thread is trivially the only
+  // one left, which is exactly the serial-phase claim.
+  SerialPhaseScope serial(kEngineSerialPhase);
   DRRS_CHECK(mail_posted_.load(std::memory_order_relaxed) == mail_drained_)
       << "mailbox teardown leak: posted "
       << mail_posted_.load(std::memory_order_relaxed) << " drained "
@@ -140,6 +143,9 @@ uint64_t PdesEngine::RunUntil(SimTime horizon) {
 
     ParallelWindow(w_end);
 
+    // ParallelWindow returned with every worker parked at the barrier: the
+    // coordinator holds the serial phase until the next window launches.
+    SerialPhaseScope serial(kEngineSerialPhase);
     if (w_end != kSimTimeMax) {
       // Barrier clock alignment: work triggered at the barrier (credit
       // releases, global timers) is stamped with the window end, never a
@@ -168,15 +174,15 @@ void PdesEngine::ParallelWindow(SimTime w_end) {
   }
   EnsureWorkers();
   {
-    std::lock_guard<std::mutex> l(pool_mu_);
+    MutexLock l(pool_mu_);
     window_end_ = w_end;
     pending_workers_ = static_cast<uint32_t>(workers_.size());
     ++generation_;
   }
-  cv_work_.notify_all();
+  cv_work_.NotifyAll();
   RunShard(0, w_end);  // the coordinator doubles as executor 0
-  std::unique_lock<std::mutex> l(pool_mu_);
-  cv_done_.wait(l, [&] { return pending_workers_ == 0; });
+  MutexLock l(pool_mu_);
+  while (pending_workers_ != 0) cv_done_.Wait(pool_mu_);
 }
 
 void PdesEngine::EnsureWorkers() {
@@ -192,16 +198,16 @@ void PdesEngine::WorkerMain(uint32_t executor) {
   for (;;) {
     SimTime w_end;
     {
-      std::unique_lock<std::mutex> l(pool_mu_);
-      cv_work_.wait(l, [&] { return shutdown_ || generation_ != seen; });
+      MutexLock l(pool_mu_);
+      while (!shutdown_ && generation_ == seen) cv_work_.Wait(pool_mu_);
       if (shutdown_) return;
       seen = generation_;
       w_end = window_end_;
     }
     RunShard(executor, w_end);
     {
-      std::lock_guard<std::mutex> l(pool_mu_);
-      if (--pending_workers_ == 0) cv_done_.notify_one();
+      MutexLock l(pool_mu_);
+      if (--pending_workers_ == 0) cv_done_.NotifyOne();
     }
   }
 }
@@ -215,7 +221,7 @@ void PdesEngine::PostRemote(net::Channel* channel, SimTime arrival,
   m.element = std::move(element);
   Lane& ln = lane(channel->sender_partition(), channel->receiver_partition());
   {
-    std::lock_guard<std::mutex> l(ln.mu);
+    MutexLock l(ln.mu);
     ln.mail.push_back(std::move(m));
   }
   mail_posted_.fetch_add(1, std::memory_order_relaxed);
@@ -228,7 +234,7 @@ void PdesEngine::PostRemoteCredit(net::Channel* channel, uint32_t credits) {
   // identical and the coalescing depends only on deterministic post order).
   Lane& ln = lane(channel->receiver_partition(), channel->sender_partition());
   {
-    std::lock_guard<std::mutex> l(ln.mu);
+    MutexLock l(ln.mu);
     if (!ln.mail.empty() && ln.mail.back().kind == Mail::Kind::kCredit &&
         ln.mail.back().channel == channel) {
       ln.mail.back().credits += credits;
@@ -255,7 +261,7 @@ bool PdesEngine::DrainMailboxOnce() {
     for (uint32_t to = 0; to < n; ++to) {
       Lane& ln = lane(from, to);
       {
-        std::lock_guard<std::mutex> l(ln.mu);
+        MutexLock l(ln.mu);
         batch.swap(ln.mail);
       }
       for (Mail& m : batch) {

@@ -2,14 +2,13 @@
 #define DRRS_SIM_PARTITION_H_
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <vector>
 
+#include "common/thread_annotations.h"
 #include "dataflow/stream_element.h"
 #include "net/channel.h"
 #include "sim/sim_time.h"
@@ -38,6 +37,14 @@ namespace drrs::sim {
 /// sequence — and therefore the same-timestamp merge order (timestamp, then
 /// insertion seq, then partition id) — is identical for every thread count,
 /// including 1.
+///
+/// Concurrency discipline (checked by Clang TSA under DRRS_THREAD_SAFETY):
+/// the lane mutex guards each lane's mail vector; pool_mu_ guards the
+/// worker-pool rendezvous fields; and everything that may only run with all
+/// workers parked — mailbox replay, global timers, the counter audit —
+/// requires the `drrs::kEngineSerialPhase` role capability, acquired solely
+/// by the coordinator's barrier scope in RunUntil (and by the destructor
+/// after joining the pool).
 class PdesEngine : public net::RemoteRouter {
  public:
   struct Options {
@@ -104,7 +111,13 @@ class PdesEngine : public net::RemoteRouter {
   uint64_t mail_posted() const {
     return mail_posted_.load(std::memory_order_relaxed);
   }
-  uint64_t mail_drained() const { return mail_drained_; }
+  /// Coordinator-only: only meaningful between runs (all workers parked).
+  uint64_t mail_drained() const DRRS_NO_THREAD_SAFETY_ANALYSIS {
+    // Suppressed (DESIGN.md §9): mail_drained_ is guarded by the serial
+    // phase; this accessor is a between-run probe for tests and the teardown
+    // CHECK, both of which run strictly after RunUntil returned.
+    return mail_drained_;
+  }
 
   // ---- net::RemoteRouter ----
   void PostRemote(net::Channel* channel, SimTime arrival,
@@ -130,8 +143,8 @@ class PdesEngine : public net::RemoteRouter {
     // The mailbox's documented synchronization point; drained only at
     // barriers in canonical order.
     // lint:allow(thread-shared-state): lane mutex, barrier-drained.
-    std::mutex mu;
-    std::vector<Mail> mail;
+    Mutex mu;
+    std::vector<Mail> mail DRRS_GUARDED_BY(mu);
   };
 
   Lane& lane(uint32_t from, uint32_t to) {
@@ -141,8 +154,9 @@ class PdesEngine : public net::RemoteRouter {
   /// Replay every lane once in canonical order (sender-major, receiver-minor,
   /// FIFO within lane). Returns true if any mail was replayed. Replaying
   /// credits can post fresh mail, so DrainMailbox loops until a pass is dry.
-  bool DrainMailboxOnce();
-  void DrainMailbox();
+  /// Serial-phase only: replay touches receiver-side channel state.
+  bool DrainMailboxOnce() DRRS_REQUIRES(kEngineSerialPhase);
+  void DrainMailbox() DRRS_REQUIRES(kEngineSerialPhase);
 
   /// Run partitions assigned to `executor` up to `w_end` inclusive.
   void RunShard(uint32_t executor, SimTime w_end);
@@ -157,7 +171,8 @@ class PdesEngine : public net::RemoteRouter {
   /// Earliest non-cancelled global-timer due time.
   SimTime NextGlobalTime() const;
   /// Fire (serially, in registration order) every timer due exactly at `t`.
-  void FireGlobalTimersAt(SimTime t);
+  /// Bodies get a globally consistent view, hence the serial-phase token.
+  void FireGlobalTimersAt(SimTime t) DRRS_REQUIRES(kEngineSerialPhase);
 
   struct GlobalTimer {
     uint64_t id = 0;
@@ -187,19 +202,19 @@ class PdesEngine : public net::RemoteRouter {
   // window boundaries.
   // lint:allow(thread-shared-state): sanctioned barrier machinery; see above.
   std::vector<std::thread> workers_;
-  std::mutex pool_mu_;
-  std::condition_variable cv_work_;
-  std::condition_variable cv_done_;
-  uint64_t generation_ = 0;      ///< bumped per window; workers chase it
-  uint32_t pending_workers_ = 0; ///< workers still inside current window
-  SimTime window_end_ = 0;       ///< horizon of the current window
-  bool shutdown_ = false;
+  Mutex pool_mu_;
+  CondVar cv_work_;
+  CondVar cv_done_;
+  uint64_t generation_ DRRS_GUARDED_BY(pool_mu_) = 0;       ///< bumped per window
+  uint32_t pending_workers_ DRRS_GUARDED_BY(pool_mu_) = 0;  ///< still in window
+  SimTime window_end_ DRRS_GUARDED_BY(pool_mu_) = 0;        ///< window horizon
+  bool shutdown_ DRRS_GUARDED_BY(pool_mu_) = false;
 
   // Posted/drained audit pair; compared only at barriers and in the
   // destructor, after every worker has parked.
   // lint:allow(thread-shared-state): counter read only at barriers.
   std::atomic<uint64_t> mail_posted_{0};
-  uint64_t mail_drained_ = 0;  ///< coordinator-only
+  uint64_t mail_drained_ DRRS_GUARDED_BY(kEngineSerialPhase) = 0;
 };
 
 }  // namespace drrs::sim

@@ -203,7 +203,7 @@ void KeyedStateBackend::InstallKeyGroup(KeyGroupState state) {
   // commutative, so the final backend state does not depend on visit order
   // (slot numbering may differ, but slots are an internal layout detail
   // never observable in events or metrics).
-  // lint:allow(unordered-iteration): commutative per-key merge + sum folds.
+  // NOLINTNEXTLINE(drrs-unordered-iteration): commutative per-key merge + sum folds.
   for (auto& [key, cell] : state.cells) {
     auto [dst, inserted] = g.FindOrInsert(key);
     if (!inserted) bytes -= dst->nominal_bytes;
@@ -226,14 +226,14 @@ uint64_t KeyedStateBackend::TotalBytes() const {
   FlushAccounting();
   if (debug_recount_) DebugRecount();
   uint64_t total = 0;
-  // lint:allow(unordered-iteration): pure sum fold; order-independent.
+  // NOLINTNEXTLINE(drrs-unordered-iteration): pure sum fold; order-independent.
   for (dataflow::KeyGroupId kg : owned_) total += group_bytes_[kg];
   return total;
 }
 
 uint64_t KeyedStateBackend::TotalKeys() const {
   uint64_t total = 0;
-  // lint:allow(unordered-iteration): pure sum fold; order-independent.
+  // NOLINTNEXTLINE(drrs-unordered-iteration): pure sum fold; order-independent.
   for (dataflow::KeyGroupId kg : owned_) total += groups_[kg].size();
   return total;
 }

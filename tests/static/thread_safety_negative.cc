@@ -1,0 +1,35 @@
+// Thread-safety-analysis control fixture (known-BAD): reads and writes a
+// guarded field without holding its mutex. Under
+//   clang++ -fsyntax-only -Wthread-safety -Wthread-safety-beta \
+//           -Werror=thread-safety -Werror=thread-safety-beta
+// this file MUST FAIL to compile. If it ever compiles, the annotation
+// macros have rotted into no-ops (e.g. the __has_attribute gate in
+// common/thread_annotations.h broke) and the DRRS_THREAD_SAFETY build is
+// checking nothing — tools/check_thread_safety.py turns that into a
+// loud CI failure rather than a silently green one.
+#include <cstdint>
+
+#include "common/thread_annotations.h"
+
+namespace {
+
+class Counter {
+ public:
+  // BAD: mutates the guarded field with no lock held and no REQUIRES.
+  void Increment() { ++value_; }
+
+  // BAD: reads the guarded field with no lock held.
+  uint64_t Read() const { return value_; }
+
+ private:
+  drrs::Mutex mu_;
+  uint64_t value_ DRRS_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Counter counter;
+  counter.Increment();
+  return static_cast<int>(counter.Read());
+}

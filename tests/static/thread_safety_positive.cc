@@ -1,0 +1,56 @@
+// Thread-safety-analysis control fixture (known-good): correct lock
+// discipline over an annotated field. Must compile CLEANLY under
+//   clang++ -fsyntax-only -Wthread-safety -Wthread-safety-beta \
+//           -Werror=thread-safety -Werror=thread-safety-beta
+// (driven by tools/check_thread_safety.py). If this file fails, either the
+// annotation macros are malformed or the wrappers in
+// common/thread_annotations.h no longer model acquire/release correctly.
+#include <cstdint>
+
+#include "common/thread_annotations.h"
+
+namespace {
+
+class Counter {
+ public:
+  void Increment() {
+    drrs::MutexLock lock(mu_);
+    ++value_;
+  }
+
+  // REQUIRES transfers the proof obligation to the caller.
+  void IncrementLocked() DRRS_REQUIRES(mu_) { ++value_; }
+
+  void Bump() {
+    drrs::MutexLock lock(mu_);
+    IncrementLocked();
+  }
+
+  uint64_t Read() {
+    drrs::MutexLock lock(mu_);
+    return value_;
+  }
+
+  // The serial-phase role capability works like a lock to the analysis.
+  void MergeSerial() DRRS_REQUIRES(drrs::kEngineSerialPhase) { ++merged_; }
+
+  void MergeAll() {
+    drrs::SerialPhaseScope serial(drrs::kEngineSerialPhase);
+    MergeSerial();
+  }
+
+ private:
+  drrs::Mutex mu_;
+  uint64_t value_ DRRS_GUARDED_BY(mu_) = 0;
+  uint64_t merged_ DRRS_GUARDED_BY(drrs::kEngineSerialPhase) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Counter counter;
+  counter.Increment();
+  counter.Bump();
+  counter.MergeAll();
+  return counter.Read() == 2 ? 0 : 1;
+}

@@ -1,0 +1,103 @@
+#!/usr/bin/env python3
+"""Negative-compile guard for the Clang thread-safety annotations.
+
+Compiles two control fixtures with the same flags the DRRS_THREAD_SAFETY
+build promotes to errors:
+
+  tests/static/thread_safety_positive.cc   must COMPILE (correct locking)
+  tests/static/thread_safety_negative.cc   must FAIL    (guarded field
+                                           touched without its mutex)
+
+The negative fixture is the canary for macro rot: if the
+__has_attribute(guarded_by) gate in common/thread_annotations.h ever stops
+engaging under clang (so every annotation expands to nothing), the
+negative file compiles and this script fails — turning "the analysis
+silently checks nothing" into a visible CI failure.
+
+Needs a clang++ (GCC has no thread safety analysis). Without one the
+script SKIPs with exit 0 so plain local runs stay green; CI passes
+--require. Exit: 0 pass/skip, 1 control violated or (--require) no clang.
+"""
+
+import argparse
+import os
+import shutil
+import subprocess
+import sys
+
+HERE = os.path.dirname(os.path.abspath(__file__))
+ROOT = os.path.dirname(HERE)
+FLAGS = [
+    "-fsyntax-only", "-std=c++20", "-I", os.path.join(ROOT, "src"),
+    "-Wthread-safety", "-Wthread-safety-beta",
+    "-Werror=thread-safety", "-Werror=thread-safety-beta",
+]
+POSITIVE = os.path.join(ROOT, "tests", "static", "thread_safety_positive.cc")
+NEGATIVE = os.path.join(ROOT, "tests", "static", "thread_safety_negative.cc")
+
+
+def find_clang(explicit):
+    candidates = [explicit] if explicit else []
+    env_cxx = os.environ.get("CXX", "")
+    if "clang" in os.path.basename(env_cxx):
+        candidates.append(env_cxx)
+    candidates += ["clang++-15", "clang++-16", "clang++-17", "clang++"]
+    for c in candidates:
+        path = shutil.which(c) if c else None
+        if path:
+            return path
+    return None
+
+
+def compile_file(clang, path):
+    proc = subprocess.run([clang] + FLAGS + [path],
+                          capture_output=True, text=True, timeout=300)
+    return proc.returncode, proc.stdout + proc.stderr
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--clang", help="clang++ binary to use")
+    parser.add_argument("--require", action="store_true",
+                        help="fail (exit 1) when no clang++ is available")
+    args = parser.parse_args()
+
+    clang = find_clang(args.clang)
+    if clang is None:
+        msg = "no clang++ found; thread-safety analysis needs Clang"
+        if args.require:
+            print(f"FAIL: {msg}")
+            return 1
+        print(f"SKIP: {msg}")
+        return 0
+    print(f"using {clang}")
+
+    ok = True
+
+    rc, output = compile_file(clang, POSITIVE)
+    if rc == 0:
+        print("PASS positive control: correct locking compiles cleanly")
+    else:
+        ok = False
+        print("FAIL positive control: the known-good fixture did not "
+              f"compile under the analysis flags\n{output}")
+
+    rc, output = compile_file(clang, NEGATIVE)
+    if rc != 0 and "thread-safety" in output:
+        print("PASS negative control: unguarded access is rejected")
+    elif rc != 0:
+        ok = False
+        print("FAIL negative control: compile failed, but not with a "
+              f"thread-safety diagnostic — fixture is broken\n{output}")
+    else:
+        ok = False
+        print("FAIL negative control: the known-bad fixture COMPILED — the "
+              "annotation macros have rotted into no-ops and the "
+              "DRRS_THREAD_SAFETY build is checking nothing "
+              "(see common/thread_annotations.h)")
+
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,36 @@
+// Known-bad fixture for drrs-arena-escape: pointers into epoch-recycled
+// storage stored in objects that outlive the epoch.
+#include "drrs_stub.h"
+
+struct Element {
+  long key;
+};
+
+class Channel {
+ public:
+  void StashAllocation(drrs::Arena<Element>& arena) {
+    cached_ = arena.Allocate();  // EXPECT: drrs-arena-escape
+  }
+
+  void StashHead(drrs::RingDeque<Element>& wire) {
+    head_ = &wire.front();  // EXPECT: drrs-arena-escape
+  }
+
+  void StashSlot(drrs::RingDeque<Element>& wire) {
+    slot_ = &wire[0];  // EXPECT: drrs-arena-escape
+  }
+
+ private:
+  Element* cached_ = nullptr;
+  Element* head_ = nullptr;
+  Element* slot_ = nullptr;
+};
+
+Element* g_scratch = nullptr;
+
+void StashGlobal(drrs::Pool<Element>& pool) {
+  g_scratch = pool.Acquire();  // EXPECT: drrs-arena-escape
+}
+
+drrs::Pool<Element> g_pool;
+Element* g_boot = g_pool.Acquire();  // EXPECT: drrs-arena-escape

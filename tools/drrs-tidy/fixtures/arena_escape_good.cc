@@ -1,0 +1,39 @@
+// Known-good fixture for drrs-arena-escape: epoch-scoped locals, copies out
+// of arena storage, and documented waivers must produce zero diagnostics.
+#include "drrs_stub.h"
+
+struct Element {
+  long key;
+};
+
+// A local pointer lives and dies inside the epoch: fine.
+long DrainOne(drrs::RingDeque<Element>& wire) {
+  Element* head = &wire.front();
+  long key = head->key;
+  wire.pop_front();
+  return key;
+}
+
+class Metrics {
+ public:
+  // Copying the *value* out of the arena is the sanctioned pattern; only a
+  // stored pointer keeps aliasing the recycled storage.
+  void Sample(drrs::RingDeque<long>& window) {
+    last_value_ = window.back();
+  }
+
+ private:
+  long last_value_ = 0;
+};
+
+class Recycler {
+ public:
+  void Pin(drrs::Arena<Element>& arena) {
+    // NOLINTNEXTLINE(drrs-arena-escape): cleared in ResetEpoch() before the barrier
+    pinned_ = arena.Allocate();
+  }
+  void ResetEpoch() { pinned_ = nullptr; }
+
+ private:
+  Element* pinned_ = nullptr;
+};

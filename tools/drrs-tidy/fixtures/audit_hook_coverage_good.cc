@@ -1,0 +1,44 @@
+// Known-good fixture for drrs-audit-hook-coverage: hooked mutations,
+// mutations of unwatched containers, and documented waivers must produce
+// zero diagnostics. The hook macros expand to empty statements here (hooks
+// compiled OFF), which must still count as hook sites.
+#include "drrs_stub.h"
+
+struct Auditor {
+  void OnElementPushed(const long*);
+  void OnElementsExtracted(unsigned long);
+};
+
+struct Tracer {
+  void OnDelivery(long);
+};
+
+class Channel {
+ public:
+  void Transmit(Auditor* auditor, long element) {
+    (void)auditor;
+    wire_.push_back(element);
+    DRRS_AUDIT_CALL(auditor, OnElementPushed(&element));
+  }
+
+  void Deliver(Tracer* tracer) {
+    (void)tracer;
+    DRRS_TRACE_CALL(tracer, OnDelivery(wire_.back()));
+    long element = wire_.back();
+    input_queue_.push_back(element);
+    wire_.pop_front();
+  }
+
+  void PopInput() {
+    // NOLINTNEXTLINE(drrs-audit-hook-coverage): consumption is observed at delivery, not at pop
+    input_queue_.pop_front();
+  }
+
+  // Scratch state is not a watched queue; no pairing required.
+  void Note(long v) { scratch_.push_back(v); }
+
+ private:
+  drrs::RingDeque<long> wire_;
+  drrs::RingDeque<long> input_queue_;
+  std::vector<long> scratch_;
+};

@@ -1,0 +1,38 @@
+// Known-bad fixture for drrs-unordered-iteration: range-fors whose order is
+// unspecified (hash containers) or address-dependent (pointer-keyed trees).
+#include "drrs_stub.h"
+
+int SumHistogram(const std::unordered_map<int, int>& histogram) {
+  int total = 0;
+  for (const auto& entry : histogram)  // EXPECT: drrs-unordered-iteration
+    total += entry.second;
+  return total;
+}
+
+int CountLive(const std::unordered_set<long>& live) {
+  int n = 0;
+  for (long id : live)  // EXPECT: drrs-unordered-iteration
+    n += static_cast<int>(id);
+  return n;
+}
+
+struct Task {
+  int id;
+};
+
+int SumTaskIds(const std::set<Task*>& tasks) {
+  int n = 0;
+  for (Task* task : tasks)  // EXPECT: drrs-unordered-iteration
+    n += task->id;
+  return n;
+}
+
+// A typedef hides the container from any regex; the AST sees the
+// desugared specialization either way.
+using RouteTable = std::unordered_map<int, Task*>;
+int SumRoutes(const RouteTable& routes) {
+  int n = 0;
+  for (const auto& route : routes)  // EXPECT: drrs-unordered-iteration
+    n += route.first;
+  return n;
+}

@@ -1,0 +1,29 @@
+// Known-good fixture for drrs-unordered-iteration: order-stable iteration
+// and waived order-independent folds must produce zero diagnostics.
+#include "drrs_stub.h"
+
+int SumOrdered(const std::map<int, int>& ordered) {
+  int total = 0;
+  for (const auto& entry : ordered) total += entry.second;
+  return total;
+}
+
+// std::set with a value key is ordered by value: deterministic.
+int SumKeys(const std::set<long>& keys) {
+  int n = 0;
+  for (long k : keys) n += static_cast<int>(k);
+  return n;
+}
+
+int SumVector(const std::vector<int>& xs) {
+  int total = 0;
+  for (int x : xs) total += x;
+  return total;
+}
+
+int WaivedFold(const std::unordered_set<int>& bag) {
+  int total = 0;
+  // NOLINTNEXTLINE(drrs-unordered-iteration): pure sum fold; order-independent
+  for (int x : bag) total += x;
+  return total;
+}

@@ -1,0 +1,35 @@
+// Known-bad fixture for drrs-wall-clock: every host-time read below must be
+// flagged. `// EXPECT: <check>` marks the line the diagnostic anchors to.
+#include "drrs_stub.h"
+
+long SampleSteady() {
+  auto t = std::chrono::steady_clock::now();  // EXPECT: drrs-wall-clock
+  return t.ticks;
+}
+
+long SampleSystem() {
+  auto t = std::chrono::system_clock::now();  // EXPECT: drrs-wall-clock
+  return t.ticks;
+}
+
+long SeedFromHost() {
+  return time(nullptr);  // EXPECT: drrs-wall-clock
+}
+
+long CpuTicks() {
+  return clock();  // EXPECT: drrs-wall-clock
+}
+
+long MicroTimestamp() {
+  timeval tv;
+  gettimeofday(&tv, nullptr);  // EXPECT: drrs-wall-clock
+  return tv.tv_usec;
+}
+
+// A using-alias hides the clock from any regex; the AST still sees the
+// callee's qualified name.
+using HiddenClock = std::chrono::high_resolution_clock;
+long SampleAliased() {
+  auto t = HiddenClock::now();  // EXPECT: drrs-wall-clock
+  return t.ticks;
+}

@@ -1,0 +1,24 @@
+// Known-good fixture for drrs-wall-clock: simulated-time reads and properly
+// waived host reads must produce zero diagnostics.
+#include "drrs_stub.h"
+
+struct Simulator {
+  long now() const;  // simulated time — the sanctioned clock
+};
+
+long SampleSimTime(const Simulator& sim) {
+  return sim.now();
+}
+
+// A member function merely *named* like a libc time function is not a host
+// read; the check matches the qualified callee, not the identifier.
+struct Lease {
+  long time() const;
+};
+long LeaseTime(const Lease& lease) {
+  return lease.time();
+}
+
+long WaivedProfiling() {
+  return clock();  // NOLINT(drrs-wall-clock): host-side profiling harness only
+}

@@ -1,0 +1,170 @@
+#!/usr/bin/env python3
+"""Fixture suite for the drrs- determinism checks.
+
+Each fixture under fixtures/ is either known-bad (every line carrying an
+`// EXPECT: drrs-<check>` comment must be flagged with exactly that check,
+and nothing else may be flagged) or known-good (zero diagnostics). The
+suite runs the checks through whichever frontend is available:
+
+  1. `clang-tidy -load <module>` when both --clang-tidy and --module are
+     given and the load succeeds (the richer frontend: NOLINT handling,
+     .clang-tidy composition), else
+  2. the standalone `drrs_tidy` binary (--tool, $DRRS_TIDY, or a search of
+     the conventional build dirs).
+
+When no frontend exists (no Clang dev toolchain in the environment) the
+suite SKIPs with exit 0 so plain `ctest` runs stay green; CI passes
+--require to turn a missing frontend into a failure.
+
+Exit: 0 pass/skip, 1 fixture mismatch or (with --require) missing frontend.
+"""
+
+import argparse
+import os
+import re
+import shutil
+import subprocess
+import sys
+
+HERE = os.path.dirname(os.path.abspath(__file__))
+FIXTURE_DIR = os.path.join(HERE, "fixtures")
+EXPECT = re.compile(r"//\s*EXPECT:\s*(drrs-[\w-]+)")
+DIAG = re.compile(r"^(.+?):(\d+):\d+:\s+warning:\s+.*\[([\w.,-]+)\]\s*$")
+COMPILE_ARGS = ["--", "-std=c++17", "-I", FIXTURE_DIR]
+
+
+def expected_findings(path):
+    """Set of (line, check) a known-bad fixture demands."""
+    out = set()
+    with open(path, encoding="utf-8") as f:
+        for line_no, line in enumerate(f, start=1):
+            m = EXPECT.search(line)
+            if m:
+                out.add((line_no, m.group(1)))
+    return out
+
+
+def parse_diags(output, fixture_path):
+    """Set of (line, check) the frontend reported for this fixture."""
+    base = os.path.basename(fixture_path)
+    out = set()
+    for raw in output.splitlines():
+        m = DIAG.match(raw.strip())
+        if not m or os.path.basename(m.group(1)) != base:
+            continue
+        for check in m.group(3).split(","):
+            if check.startswith("drrs-"):
+                out.add((int(m.group(2)), check))
+    return out
+
+
+def find_standalone_tool(explicit):
+    if explicit:
+        return explicit if os.path.isfile(explicit) else None
+    env = os.environ.get("DRRS_TIDY")
+    if env and os.path.isfile(env):
+        return env
+    for candidate in (
+        os.path.join(HERE, "build", "drrs_tidy"),
+        os.path.join(HERE, "..", "..", "build-tidy", "drrs_tidy"),
+        os.path.join(HERE, "..", "..", "build", "drrs_tidy"),
+    ):
+        if os.path.isfile(candidate):
+            return candidate
+    return shutil.which("drrs_tidy")
+
+
+def run_frontend(cmd, fixture):
+    proc = subprocess.run(cmd, capture_output=True, text=True, timeout=120)
+    if proc.returncode not in (0, 1):
+        print(f"FAIL {os.path.basename(fixture)}: frontend exited "
+              f"{proc.returncode}\n{proc.stdout}{proc.stderr}")
+        return None
+    return proc.stdout + proc.stderr
+
+
+def module_works(clang_tidy, module):
+    """clang-tidy must both load the module and expose the drrs- checks."""
+    try:
+        proc = subprocess.run(
+            [clang_tidy, f"-load={module}", "-checks=-*,drrs-*",
+             "--list-checks"],
+            capture_output=True, text=True, timeout=120)
+    except OSError:
+        return False
+    return proc.returncode == 0 and "drrs-wall-clock" in proc.stdout
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--tool", help="path to the standalone drrs_tidy")
+    parser.add_argument("--clang-tidy", help="clang-tidy binary to -load into")
+    parser.add_argument("--module", help="libdrrs_tidy_module.so path")
+    parser.add_argument("--require", action="store_true",
+                        help="fail (exit 1) when no frontend is available")
+    args = parser.parse_args()
+
+    runner = None
+    if args.clang_tidy and args.module and os.path.isfile(args.module):
+        if module_works(args.clang_tidy, args.module):
+            runner = ("clang-tidy", lambda fx: run_frontend(
+                [args.clang_tidy, f"-load={args.module}",
+                 "-checks=-*,drrs-*", fx] + COMPILE_ARGS, fx))
+        else:
+            print("note: clang-tidy could not load the module (no plugin "
+                  "support in this build?); falling back to the standalone "
+                  "tool")
+    if runner is None:
+        tool = find_standalone_tool(args.tool)
+        if tool:
+            runner = ("drrs_tidy", lambda fx: run_frontend(
+                [tool, fx] + COMPILE_ARGS, fx))
+    if runner is None:
+        msg = ("no drrs-tidy frontend available (build tools/drrs-tidy "
+               "against a Clang dev install, or pass --tool/--module)")
+        if args.require:
+            print(f"FAIL: {msg}")
+            return 1
+        print(f"SKIP: {msg}")
+        return 0
+
+    fixtures = sorted(
+        os.path.join(FIXTURE_DIR, f)
+        for f in os.listdir(FIXTURE_DIR)
+        if f.endswith(".cc"))
+    if not fixtures:
+        print("FAIL: no fixtures found")
+        return 1
+
+    print(f"running {len(fixtures)} fixture(s) through {runner[0]}")
+    failures = 0
+    for fixture in fixtures:
+        name = os.path.basename(fixture)
+        expected = expected_findings(fixture)
+        output = runner[1](fixture)
+        if output is None:
+            failures += 1
+            continue
+        actual = parse_diags(output, fixture)
+        missing = expected - actual
+        unexpected = actual - expected
+        if not missing and not unexpected:
+            kind = "bad" if expected else "good"
+            print(f"PASS {name} ({kind}: {len(expected)} expected finding(s))")
+            continue
+        failures += 1
+        print(f"FAIL {name}")
+        for line, check in sorted(missing):
+            print(f"  missing    line {line}: [{check}]")
+        for line, check in sorted(unexpected):
+            print(f"  unexpected line {line}: [{check}]")
+
+    if failures:
+        print(f"\n{failures} fixture(s) failed")
+        return 1
+    print("\nall fixtures passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,117 @@
+/// drrs-tidy: standalone driver for the DRRS determinism checks.
+///
+/// Runs the four drrs- checks (see DrrsChecks.h) over the given sources and
+/// prints findings in clang-tidy's format:
+///
+///     file:line:col: warning: <message> [drrs-<check>]
+///
+/// Exit status: 0 clean, 1 findings, 2 tool/parse failure. Usage mirrors any
+/// ClangTool:
+///
+///     drrs_tidy src/net/channel.cc -- -std=c++20 -Isrc
+///     drrs_tidy -p build/ src/sim/partition.cc
+///
+/// This binary needs only the Clang CMake package (libclang-dev+llvm-dev);
+/// the clang-tidy `-load` module in DrrsTidyModule.cpp is the richer but
+/// optional frontend (Debian/Ubuntu do not package the clang-tidy headers).
+
+#include <memory>
+
+#include "DrrsChecks.h"
+#include "clang/Frontend/CompilerInstance.h"
+#include "clang/Frontend/FrontendAction.h"
+#include "clang/Lex/Preprocessor.h"
+#include "clang/Tooling/CommonOptionsParser.h"
+#include "clang/Tooling/Tooling.h"
+#include "llvm/Support/CommandLine.h"
+#include "llvm/Support/raw_ostream.h"
+
+namespace {
+
+llvm::cl::OptionCategory DrrsTidyCategory("drrs-tidy options");
+llvm::cl::extrahelp CommonHelp(
+    clang::tooling::CommonOptionsParser::HelpMessage);
+llvm::cl::opt<std::string> ChecksOpt(
+    "checks",
+    llvm::cl::desc("Comma-separated drrs- checks to run (default: all)"),
+    llvm::cl::init(""), llvm::cl::cat(DrrsTidyCategory));
+
+class PrintingSink : public drrstidy::DiagnosticSink {
+ public:
+  void HandleDiag(const drrstidy::Diag& diag) override {
+    if (!ChecksOpt.empty()) {
+      llvm::SmallVector<llvm::StringRef, 4> wanted;
+      llvm::StringRef(ChecksOpt).split(wanted, ',');
+      bool enabled = false;
+      for (llvm::StringRef name : wanted)
+        if (name.trim() == diag.Check) enabled = true;
+      if (!enabled) return;
+    }
+    llvm::outs() << diag.File << ":" << diag.Line << ":" << diag.Col
+                 << ": warning: " << diag.Message << " [" << diag.Check
+                 << "]\n";
+    ++count_;
+  }
+  unsigned count() const { return count_; }
+
+ private:
+  unsigned count_ = 0;
+};
+
+/// Wires the hook-expansion PPCallbacks in before handing the TU to the
+/// MatchFinder consumer (drrs-audit-hook-coverage needs both sides).
+class DrrsFrontendAction : public clang::ASTFrontendAction {
+ public:
+  DrrsFrontendAction(drrstidy::CheckEngine& engine,
+                     clang::ast_matchers::MatchFinder& finder)
+      : engine_(engine), finder_(finder) {}
+
+  std::unique_ptr<clang::ASTConsumer> CreateASTConsumer(
+      clang::CompilerInstance& compiler, llvm::StringRef) override {
+    compiler.getPreprocessor().addPPCallbacks(
+        engine_.MakePPCallbacks(compiler.getSourceManager()));
+    return finder_.newASTConsumer();
+  }
+
+ private:
+  drrstidy::CheckEngine& engine_;
+  clang::ast_matchers::MatchFinder& finder_;
+};
+
+class DrrsActionFactory : public clang::tooling::FrontendActionFactory {
+ public:
+  DrrsActionFactory(drrstidy::CheckEngine& engine,
+                    clang::ast_matchers::MatchFinder& finder)
+      : engine_(engine), finder_(finder) {}
+
+  std::unique_ptr<clang::FrontendAction> create() override {
+    return std::make_unique<DrrsFrontendAction>(engine_, finder_);
+  }
+
+ private:
+  drrstidy::CheckEngine& engine_;
+  clang::ast_matchers::MatchFinder& finder_;
+};
+
+}  // namespace
+
+int main(int argc, const char** argv) {
+  auto options = clang::tooling::CommonOptionsParser::create(
+      argc, argv, DrrsTidyCategory);
+  if (!options) {
+    llvm::errs() << llvm::toString(options.takeError()) << "\n";
+    return 2;
+  }
+  clang::tooling::ClangTool tool(options->getCompilations(),
+                                 options->getSourcePathList());
+
+  PrintingSink sink;
+  drrstidy::CheckEngine engine(sink);
+  clang::ast_matchers::MatchFinder finder;
+  engine.RegisterMatchers(finder);
+  DrrsActionFactory factory(engine, finder);
+
+  int run_status = tool.run(&factory);
+  if (run_status != 0) return 2;
+  return sink.count() > 0 ? 1 : 0;
+}

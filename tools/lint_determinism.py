@@ -19,6 +19,15 @@ contract, and this lint forbids them under the decision-path directories
      ASLR. Either way the event sequence stops being a function of the
      input alone.
 
+Division of labour with drrs-tidy (tools/drrs-tidy): the clang plugin
+carries AST-accurate versions of rules 1 and 3 (drrs-wall-clock,
+drrs-unordered-iteration) that see through typedefs, `auto` and member
+getters, so those two REGEX rules are retired here for the .cc/.cpp files
+the plugin analyses as translation units. Headers keep every regex rule:
+the plugin's diagnostics are filtered to each TU's main file, so a header
+hazard would otherwise go unreported. Rules 2, 4 and 5 stay regex-enforced
+everywhere (no clang toolchain needed to run them).
+
 The partitioned simulation backend adds two thread rules, scoped to
 src/sim and src/net (the only directories that may run on worker
 threads):
@@ -28,11 +37,12 @@ threads):
      worker runs a partition is a scheduling accident; any decision that
      reads it makes output depend on thread count. Never waivable.
   5. thread-shared-state — declarations of cross-thread mutable state
-     (std::mutex, std::condition_variable, std::atomic, std::thread,
-     non-const statics). Shared mutable state is where nondeterminism
-     enters a parallel run, so every instance must be deliberate: the
-     mailbox lanes and the worker-pool rendezvous are the sanctioned
-     sites, waived in place.
+     (std::mutex, std::condition_variable, the annotated drrs::Mutex /
+     drrs::CondVar wrappers from common/thread_annotations.h, std::atomic,
+     std::thread, non-const statics). Shared mutable state is where
+     nondeterminism enters a parallel run, so every instance must be
+     deliberate: the mailbox lanes and the worker-pool rendezvous are the
+     sanctioned sites, waived in place.
 
 A finding can be waived only when it is provably benign (e.g. an
 order-independent fold, or mailbox internals drained in canonical order
@@ -43,8 +53,11 @@ at a barrier) by annotating the flagged line or the line above it:
 
 A thread-shared-state waiver also covers a contiguous run of flagged
 declarations directly beneath it (a mutex + the condvars it guards reads
-as one sanctioned group). The reason text is mandatory. Wall-clock, RNG
-and thread-hazard findings are not waivable.
+as one sanctioned group), and extends through a declaration that spans
+multiple physical lines until its terminating `;` — a waiver above
+`std::array<\n  std::atomic<...>, N> x_;` covers the second line too.
+The reason text is mandatory. Wall-clock, RNG and thread-hazard findings
+are not waivable.
 
 Exit status: 0 when clean, 1 when findings exist, 2 on usage errors.
 """
@@ -113,10 +126,15 @@ THREAD_HAZARD = re.compile(
 )
 # Declarations of cross-thread mutable state. The `[^<>(]*\s\w+\s*[;{=(]`
 # tail requires a declared name, which keeps `std::lock_guard<std::mutex>`
-# and other template-argument mentions from matching.
+# and other template-argument mentions from matching. The annotated
+# drrs::Mutex / drrs::CondVar wrappers (common/thread_annotations.h) are
+# still mutexes and condvars — declaring one is declaring shared state, so
+# they match too (`Mutex\b` does not match inside `MutexLock`, which is a
+# scoped guard, not new state).
 SHARED_MUTABLE = re.compile(
     r"std::(mutex|recursive_mutex|shared_mutex|timed_mutex"
     r"|condition_variable(_any)?|thread)\b[^<>(]*\s\w+\s*[;{=]"
+    r"|\b(drrs::)?(Mutex|CondVar)\s+\w+\s*[,;{=]"
     r"|std::atomic\s*<"
     r"|std::vector\s*<\s*std::thread\s*>"
 )
@@ -166,6 +184,37 @@ def line_is_waived(lines, idx):
     return False
 
 
+# A declaration can span physical lines; a waiver must cover all of them,
+# not just the first. Cap how far a waiver can reach so an unterminated
+# statement (macro soup, lambda body) cannot swallow the rest of the file.
+MAX_WAIVER_SPAN = 10
+
+
+def thread_waiver_spans(lines):
+    """0-based indexes covered by a thread-shared-state waiver, extended
+    through the (possibly multi-line) declaration the waiver annotates.
+
+    A waiver comment covers code on its own line plus following lines until
+    the statement terminates (a `;` outside the comment), bounded by
+    MAX_WAIVER_SPAN. The caller still applies the contiguous-run rule on
+    top (a flagged declaration directly beneath a waived one is waived).
+    """
+    covered = set()
+    for i, raw in enumerate(lines):
+        if not ALLOW_THREAD.search(raw):
+            continue
+        # Start at the waiver's own line (trailing-comment form) and walk
+        # until the annotated declaration ends.
+        for j in range(i, min(i + 1 + MAX_WAIVER_SPAN, len(lines))):
+            covered.add(j)
+            code = lines[j].split("//", 1)[0]
+            if j > i and ";" in code:
+                break
+            if j == i and ";" in code and code.strip():
+                break
+    return covered
+
+
 def read_lines(path):
     try:
         with open(path, encoding="utf-8", errors="replace") as f:
@@ -180,12 +229,25 @@ def in_thread_scope(path):
     return any(f"{d}/" in normalized for d in THREAD_RULE_DIRS)
 
 
+def plugin_covers(path):
+    """True when drrs-tidy's AST checks own wall-clock and
+    unordered-iteration for this file: a translation unit (.cc/.cpp) in a
+    decision-path directory. Headers stay regex-covered because the plugin
+    reports only each TU's main file."""
+    if not path.endswith((".cc", ".cpp")):
+        return False
+    normalized = path.replace(os.sep, "/")
+    return any(f"{d}/" in normalized for d in DECISION_PATH_DIRS)
+
+
 def lint_file(path, lines, hazardous):
     findings = []
     thread_scope = in_thread_scope(path)
+    ast_covered = plugin_covers(path)
     # Thread-shared-state waivers extend through a contiguous run of flagged
     # declarations: track which prior line indexes (0-based) were waived.
     thread_waived = set()
+    waiver_spans = thread_waiver_spans(lines) if thread_scope else set()
     for idx, raw in enumerate(lines, start=1):
         # Strip line comments so commented-out code can't trip the rules,
         # but keep the comment text around for the allow check.
@@ -205,7 +267,8 @@ def lint_file(path, lines, hazardous):
                 shared = MUTABLE_STATIC.search(code)
             if shared:
                 i = idx - 1  # 0-based index of this line
-                waived = (ALLOW_THREAD.search(lines[i])
+                waived = (i in waiver_spans
+                          or ALLOW_THREAD.search(lines[i])
                           or (i > 0 and (ALLOW_THREAD.search(lines[i - 1])
                                          or i - 1 in thread_waived)))
                 if waived:
@@ -218,7 +281,9 @@ def lint_file(path, lines, hazardous):
                         "thread-shared-state): <reason>` if access is "
                         "barrier-ordered or otherwise deterministic"))
 
-        m = WALL_CLOCK.search(code)
+        # wall-clock and unordered-iteration are owned by drrs-tidy's AST
+        # checks for the TUs it analyses; the regex only covers headers there.
+        m = None if ast_covered else WALL_CLOCK.search(code)
         if m:
             findings.append(Finding(
                 path, idx, "wall-clock",
@@ -232,7 +297,7 @@ def lint_file(path, lines, hazardous):
                 f"unseeded randomness `{m.group(0).strip()}`; thread an "
                 "explicit seed from the workload/engine config"))
 
-        if not hazardous:
+        if not hazardous or ast_covered:
             continue
         m = RANGE_FOR.search(code)
         if not m:

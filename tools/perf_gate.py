@@ -45,7 +45,15 @@ def load_baseline(path, suite):
             sys.exit(2)
         for row in reversed(doc["history"]):
             if row.get("bench", "bench_event_engine") == suite:
-                return row["results"], row.get("row", "<unlabeled>")
+                label = row.get("row", "<unlabeled>")
+                if "results" not in row:
+                    print(f"error: {path}: history row '{label}' for suite "
+                          f"'{suite}' has no 'results' table — the baseline "
+                          "row is malformed (re-record it with "
+                          "bench_event_engine, or delete the row so the "
+                          "suite gates from its next run)", file=sys.stderr)
+                    sys.exit(2)
+                return row["results"], label
         return None, None
     if "results" in doc:
         return doc["results"], "<legacy single row>"
@@ -135,6 +143,14 @@ def main():
             continue
         base = baseline[name]
         cand = candidate[name]
+        for metric in ("items_per_sec", "allocs_per_item"):
+            for side, table in (("baseline", base), ("candidate", cand)):
+                if metric not in table:
+                    print(f"error: bench '{name}': {side} row has no "
+                          f"'{metric}' field — the {side} JSON is malformed "
+                          "(expected the bench_event_engine result format)",
+                          file=sys.stderr)
+                    sys.exit(2)
 
         speed_floor = base["items_per_sec"] * args.min_speed_frac
         speed_ok = cand["items_per_sec"] >= speed_floor
