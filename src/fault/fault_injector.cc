@@ -11,23 +11,94 @@ namespace drrs::fault {
 using dataflow::ElementKind;
 using dataflow::StreamElement;
 
-FaultInjector::FaultInjector(runtime::ExecutionGraph* graph,
-                             FaultSchedule schedule)
-    : graph_(graph), schedule_(std::move(schedule)), rng_(schedule_.seed) {
-  for (const FaultSchedule::LinkFault& link : schedule_.links) {
-    if (link.partition_at >= 0) {
-      DRRS_CHECK(link.heal_at > link.partition_at)
-          << "link partition " << link.from << "->" << link.to
-          << " must heal after it starts";
-    }
-    if (link.degrade_from >= 0) {
-      DRRS_CHECK(link.bandwidth_factor > 0.0 && link.bandwidth_factor <= 1.0)
-          << "bandwidth_factor must be in (0, 1]";
-    }
-  }
+namespace {
+
+std::string LinkName(const FaultSchedule::LinkFault& link) {
+  return "link " + std::to_string(link.from) + "->" + std::to_string(link.to);
 }
 
-void FaultInjector::Arm() {
+bool ValidRate(double rate) { return rate >= 0.0 && rate <= 1.0; }
+
+}  // namespace
+
+Status FaultSchedule::Validate() const {
+  if (!ValidRate(chunk.drop_rate) || !ValidRate(chunk.duplicate_rate) ||
+      !ValidRate(chunk.delay_rate)) {
+    return Status::InvalidArgument(
+        "chunk fault rates must be probabilities in [0, 1]");
+  }
+  if (chunk.delay < 0) {
+    return Status::InvalidArgument("chunk delay must be non-negative");
+  }
+  if (chunk.from < 0) {
+    return Status::InvalidArgument(
+        "chunk fault window start must be non-negative");
+  }
+  if (chunk.until >= 0 && chunk.until <= chunk.from) {
+    return Status::InvalidArgument(
+        "chunk fault window must end after it starts (until > from, or "
+        "until < 0 for open-ended)");
+  }
+  if (chunk.drop_rate > 0.0 && chunk.max_drops == 0) {
+    return Status::InvalidArgument(
+        "chunk drop_rate set with a zero-capacity max_drops cap — drops can "
+        "never fire; raise max_drops or clear drop_rate");
+  }
+  for (size_t i = 0; i < links.size(); ++i) {
+    const LinkFault& link = links[i];
+    if (link.partition_at >= 0 && link.heal_at <= link.partition_at) {
+      return Status::InvalidArgument(
+          LinkName(link) + " partition must heal after it starts "
+          "(heal_at > partition_at; healing is mandatory)");
+    }
+    if (link.degrade_from >= 0) {
+      if (link.degrade_until <= link.degrade_from) {
+        return Status::InvalidArgument(
+            LinkName(link) +
+            " degrade window must end after it starts "
+            "(degrade_until > degrade_from)");
+      }
+      if (link.bandwidth_factor <= 0.0 || link.bandwidth_factor > 1.0) {
+        return Status::InvalidArgument(
+            LinkName(link) + " bandwidth_factor must be in (0, 1]");
+      }
+    }
+    // Overlapping partition windows on the same directed link would heal in
+    // the wrong order (HealLinks pokes on the *first* heal time).
+    for (size_t j = i + 1; j < links.size(); ++j) {
+      const LinkFault& other = links[j];
+      if (link.from != other.from || link.to != other.to) continue;
+      if (link.partition_at < 0 || other.partition_at < 0) continue;
+      if (link.partition_at < other.heal_at &&
+          other.partition_at < link.heal_at) {
+        return Status::InvalidArgument(
+            LinkName(link) + " has overlapping partition windows");
+      }
+    }
+  }
+  for (const CrashFault& crash : crashes) {
+    if (crash.at < 0) {
+      return Status::InvalidArgument("crash time must be non-negative");
+    }
+    if (crash.recover_after <= 0) {
+      return Status::InvalidArgument(
+          "crash recover_after must be positive (recovery is mandatory)");
+    }
+  }
+  for (sim::SimTime at : checkpoints) {
+    if (at < 0) {
+      return Status::InvalidArgument("checkpoint time must be non-negative");
+    }
+  }
+  return Status::OK();
+}
+
+FaultInjector::FaultInjector(runtime::ExecutionGraph* graph,
+                             FaultSchedule schedule)
+    : graph_(graph), schedule_(std::move(schedule)), rng_(schedule_.seed) {}
+
+Status FaultInjector::Arm() {
+  DRRS_RETURN_NOT_OK(schedule_.Validate());
   sim::Simulator* sim = graph_->sim();
   sim->set_fault_plane(this);
 
@@ -54,6 +125,7 @@ void FaultInjector::Arm() {
     FaultSchedule::CrashFault c = crash;
     sim->ScheduleAt(c.at, [this, c]() { InjectCrash(c); });
   }
+  return Status::OK();
 }
 
 // ---------------------------------------------------------------------------

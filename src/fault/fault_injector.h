@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "common/random.h"
+#include "common/status.h"
 #include "dataflow/stream_element.h"
 #include "net/fault_plane.h"
 #include "runtime/execution_graph.h"
@@ -76,6 +77,14 @@ struct FaultSchedule {
     return chunk.any() || !links.empty() || !crashes.empty() ||
            !checkpoints.empty();
   }
+
+  /// Structural validation of the schedule, independent of any graph:
+  /// probability rates in [0, 1], windows well-formed (an armed window must
+  /// end after it starts), no overlapping partition windows on the same
+  /// directed link, no zero-capacity drop cap with a positive drop rate,
+  /// and no negative times. Returns the first problem found as an
+  /// InvalidArgument status naming the offending entry.
+  Status Validate() const;
 };
 
 /// \brief Executes a FaultSchedule against a built ExecutionGraph: installs
@@ -90,8 +99,10 @@ class FaultInjector : public net::FaultPlane {
   FaultInjector& operator=(const FaultInjector&) = delete;
 
   /// Install on the simulator and schedule every timed fault. Call once,
-  /// before the run starts (all schedule times are absolute).
-  void Arm();
+  /// before the run starts (all schedule times are absolute). Validates the
+  /// schedule first and arms nothing when it is malformed, returning the
+  /// validation error instead of crashing mid-run.
+  Status Arm();
 
   // ---- net::FaultPlane ----
   bool AllowTransmit(const net::Channel& channel) override;

@@ -149,7 +149,9 @@ ExperimentResult RunExperiment(const workloads::WorkloadSpec& workload,
   std::optional<fault::FaultInjector> injector;
   if (config.faults.any()) {
     injector.emplace(&graph, config.faults);
-    injector->Arm();
+    Status fault_st = injector->Arm();
+    DRRS_CHECK(fault_st.ok()) << "invalid fault schedule: "
+                              << fault_st.ToString();
   }
 
   // Every mechanism runs behind the same control plane (ScaleService).
@@ -161,6 +163,7 @@ ExperimentResult RunExperiment(const workloads::WorkloadSpec& workload,
     service_options.mechanism = MechanismFor(config.system);
     service_options.retry = config.scale_retry;
     service_options.chunk_retry = config.chunk_retry;
+    service_options.breaker = config.scale_breaker;
     service.emplace(&graph, service_options);
     strategy = service->Prepare(op);
     DRRS_CHECK(strategy != nullptr) << "workload scaled_op not rescalable";
@@ -175,6 +178,21 @@ ExperimentResult RunExperiment(const workloads::WorkloadSpec& workload,
         DRRS_LOG(Error) << "RequestRescale failed: " << s.ToString();
       }
     });
+  }
+
+  // Overload control for the scaled operator. Like fault injection this is
+  // a partition-local subsystem: a single logical process keeps every
+  // shed/throttle decision in one deterministic event order.
+  std::optional<overload::OverloadController> overload_ctl;
+  if (config.overload.enabled) {
+    DRRS_CHECK(partitions == 1)
+        << "overload control requires a single-partition workload";
+    overload_ctl.emplace(&graph, op, config.overload);
+    overload_ctl->Arm();
+    if (service) {
+      service->set_pressure_provider(
+          [&overload_ctl]() { return static_cast<int>(overload_ctl->level()); });
+    }
   }
 
   graph.Start();
@@ -293,6 +311,11 @@ ExperimentResult RunExperiment(const workloads::WorkloadSpec& workload,
   result.delivered_elements = delivery.elements;
   result.delivered_batches = delivery.batches;
   result.recovery = hub->recovery();
+  result.overload = hub->overload();
+  if (overload_ctl) {
+    result.shed_log = overload_ctl->shed_log();
+    result.final_pressure = overload_ctl->level();
+  }
   result.hub = std::move(hub);
   return result;
 }
@@ -349,6 +372,28 @@ void PrintRunSummary(const ExperimentResult& result) {
         static_cast<unsigned long long>(r.replayed_elements),
         static_cast<unsigned long long>(r.links_partitioned),
         static_cast<unsigned long long>(r.links_healed));
+  }
+  const metrics::OverloadMetrics& o = result.overload;
+  if (o.any()) {
+    std::printf(
+        "#   overload           shed %llu (tail %llu rand %llu cold %llu)  "
+        "transitions %llu\n",
+        static_cast<unsigned long long>(o.records_shed),
+        static_cast<unsigned long long>(o.shed_drop_tail),
+        static_cast<unsigned long long>(o.shed_random),
+        static_cast<unsigned long long>(o.shed_cold_key),
+        static_cast<unsigned long long>(o.pressure_transitions));
+    std::printf(
+        "#   backlog/throttle   peak %llu  last %llu  throttle-episodes "
+        "%llu\n",
+        static_cast<unsigned long long>(o.peak_input_backlog),
+        static_cast<unsigned long long>(o.last_input_backlog),
+        static_cast<unsigned long long>(o.throttle_activations));
+    std::printf(
+        "#   breaker            opens %llu  probes %llu  rejections %llu\n",
+        static_cast<unsigned long long>(o.breaker_opens),
+        static_cast<unsigned long long>(o.breaker_probes),
+        static_cast<unsigned long long>(o.breaker_rejections));
   }
 }
 

@@ -7,6 +7,7 @@
 
 #include "fault/fault_injector.h"
 #include "metrics/metrics_hub.h"
+#include "overload/overload_controller.h"
 #include "runtime/execution_graph.h"
 #include "scaling/scale_service.h"
 #include "sim/simulator.h"
@@ -84,6 +85,15 @@ struct ExperimentConfig {
   scaling::ChunkRetryPolicy chunk_retry;
   /// Scale-abort-and-retry watchdog for the control plane (off by default).
   scaling::ScaleService::Options::RetryPolicy scale_retry;
+  /// Circuit breaker over scale admission (off by default).
+  overload::CircuitBreaker::Policy scale_breaker;
+  /// Overload control for the workload's scaled operator: backpressure
+  /// escalation, deterministic load shedding and source throttling. The
+  /// all-defaults value (`enabled == false`) constructs nothing and keeps
+  /// the run bit-identical to a build without the subsystem. Like fault
+  /// injection, enabling it requires a single-partition workload so every
+  /// decision is bit-identical across --threads values.
+  overload::OverloadOptions overload;
   /// Export a Chrome/Perfetto trace of the run to this path. Only effective
   /// in DRRS_TRACE builds; elsewhere no hook sites exist and the field is
   /// ignored, so benches can parse --trace unconditionally. Empty keeps the
@@ -132,6 +142,13 @@ struct ExperimentResult {
 
   /// Fault/recovery counters of the run (all zero in fault-free runs).
   metrics::RecoveryMetrics recovery;
+
+  /// Overload-control counters (all zero when the subsystem is off).
+  metrics::OverloadMetrics overload;
+  /// Per-record shed log (only when config.overload.record_shed_log).
+  std::vector<overload::ShedLogEntry> shed_log;
+  /// Pressure level at the end of the run (kOk when overload is off).
+  overload::PressureLevel final_pressure = overload::PressureLevel::kOk;
 
   /// Tracer activity (0 unless built with DRRS_TRACE).
   uint64_t trace_events = 0;

@@ -118,6 +118,11 @@ std::string JsonSummary(const ExperimentResult& result) {
     out += ',';
     AppendHistogram(&out, "stall_backpressure_ms",
                     sm.StallHistogram(metrics::StallReason::kBackpressure));
+    out += ',';
+    AppendI64(&out, "throttled_us", sm.ThrottledTime());
+    out += ',';
+    AppendHistogram(&out, "stall_throttled_ms",
+                    sm.StallHistogram(metrics::StallReason::kThrottled));
   }
   out += "},";
 
@@ -174,6 +179,35 @@ std::string JsonSummary(const ExperimentResult& result) {
   AppendU64(&out, "links_partitioned", r.links_partitioned);
   out += ',';
   AppendU64(&out, "links_healed", r.links_healed);
+  out += "},";
+
+  const metrics::OverloadMetrics& o = result.overload;
+  AppendKey(&out, "overload");
+  out += '{';
+  AppendU64(&out, "records_shed", o.records_shed);
+  out += ',';
+  AppendU64(&out, "shed_drop_tail", o.shed_drop_tail);
+  out += ',';
+  AppendU64(&out, "shed_random", o.shed_random);
+  out += ',';
+  AppendU64(&out, "shed_cold_key", o.shed_cold_key);
+  out += ',';
+  AppendU64(&out, "throttle_activations", o.throttle_activations);
+  out += ',';
+  AppendU64(&out, "pressure_transitions", o.pressure_transitions);
+  out += ',';
+  AppendU64(&out, "breaker_opens", o.breaker_opens);
+  out += ',';
+  AppendU64(&out, "breaker_probes", o.breaker_probes);
+  out += ',';
+  AppendU64(&out, "breaker_rejections", o.breaker_rejections);
+  out += ',';
+  AppendU64(&out, "peak_input_backlog", o.peak_input_backlog);
+  out += ',';
+  AppendU64(&out, "last_input_backlog", o.last_input_backlog);
+  out += ',';
+  AppendU64(&out, "final_pressure",
+            static_cast<uint64_t>(result.final_pressure));
   out += "},";
 
   AppendKey(&out, "audit");

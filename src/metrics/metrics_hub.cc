@@ -41,6 +41,10 @@ void ScalingMetrics::RecordStall(StallReason reason, sim::SimTime begin,
     backpressure_total_ += end - begin;
     return;
   }
+  if (reason == StallReason::kThrottled) {
+    throttled_total_ += end - begin;
+    return;
+  }
   stalls_.push_back(Stall{reason, begin, end});
 }
 
@@ -54,10 +58,11 @@ void ScalingMetrics::MergeFrom(const ScalingMetrics& other) {
                             other.dependency_deltas_.begin(),
                             other.dependency_deltas_.end());
   stalls_.insert(stalls_.end(), other.stalls_.begin(), other.stalls_.end());
-  for (size_t i = 0; i < 3; ++i) {
+  for (size_t i = 0; i < kStallReasonCount; ++i) {
     stall_hists_[i].MergeFrom(other.stall_hists_[i]);
   }
   backpressure_total_ += other.backpressure_total_;
+  throttled_total_ += other.throttled_total_;
   for (const auto& [unit, count] : other.unit_transfers_) {
     unit_transfers_[unit] += count;
   }

@@ -22,7 +22,10 @@ enum class StallReason : uint8_t {
   kAwaitingState = 0,   ///< head record's state not locally available
   kAlignment,           ///< blocked for barrier alignment
   kBackpressure,        ///< downstream output cache congested
+  kThrottled,           ///< source emission denied by the overload throttle
 };
+
+inline constexpr size_t kStallReasonCount = 4;
 
 /// \brief Records per-scaling-operation events to compute the paper's three
 /// overhead factors: propagation delay L_p, suspension L_s, dependency L_d
@@ -61,6 +64,10 @@ class ScalingMetrics {
   /// Suspension accumulation over time: (t, cumulative µs). Paper Fig 13.
   TimeSeries SuspensionSeries() const;
   sim::SimTime BackpressureTime() const { return backpressure_total_; }
+  /// Total time sources spent denied by the overload throttle. Like
+  /// backpressure, deliberately outside CumulativeSuspension: throttling is
+  /// a policy choice, not scaling overhead, so Fig 13 stays comparable.
+  sim::SimTime ThrottledTime() const { return throttled_total_; }
 
   sim::SimTime scale_start() const { return scale_start_; }
   sim::SimTime scale_end() const { return scale_end_; }
@@ -102,8 +109,9 @@ class ScalingMetrics {
     sim::SimTime end;
   };
   std::vector<Stall> stalls_;
-  LogHistogram stall_hists_[3];  ///< indexed by StallReason
+  LogHistogram stall_hists_[kStallReasonCount];  ///< indexed by StallReason
   sim::SimTime backpressure_total_ = 0;
+  sim::SimTime throttled_total_ = 0;
   std::map<std::pair<dataflow::KeyGroupId, uint32_t>, uint64_t> unit_transfers_;
   sim::SimTime scale_start_ = -1;
   sim::SimTime scale_end_ = -1;
@@ -202,6 +210,47 @@ struct RecoveryMetrics {
   }
 };
 
+/// \brief Overload-control counters bumped by the graceful-degradation
+/// machinery: load shedding (OverloadController via ArrivalGate), source
+/// throttling (SourceTask + TokenBucket) and the scale-admission circuit
+/// breaker (ScaleService). All zero when overload control is off; surfaced
+/// in the harness per-run summary and the JSON summaries.
+struct OverloadMetrics {
+  uint64_t records_shed = 0;            ///< data records removed at inputs
+  uint64_t shed_drop_tail = 0;          ///< by the drop-tail policy
+  uint64_t shed_random = 0;             ///< by the seeded-random policy
+  uint64_t shed_cold_key = 0;           ///< by the coldest-keys policy
+  uint64_t throttle_activations = 0;    ///< distinct source-throttle episodes
+  uint64_t pressure_transitions = 0;    ///< detector level changes
+  uint64_t breaker_opens = 0;           ///< circuit-breaker Closed/HalfOpen->Open
+  uint64_t breaker_probes = 0;          ///< half-open probe admissions
+  uint64_t breaker_rejections = 0;      ///< scale requests rejected while open
+  uint64_t peak_input_backlog = 0;      ///< max sampled input-queue sum
+  uint64_t last_input_backlog = 0;      ///< final sampled input-queue sum
+
+  bool any() const {
+    return records_shed + throttle_activations + pressure_transitions +
+               breaker_opens + breaker_probes + breaker_rejections >
+           0;
+  }
+
+  void MergeFrom(const OverloadMetrics& o) DRRS_REQUIRES(kEngineSerialPhase) {
+    records_shed += o.records_shed;
+    shed_drop_tail += o.shed_drop_tail;
+    shed_random += o.shed_random;
+    shed_cold_key += o.shed_cold_key;
+    throttle_activations += o.throttle_activations;
+    pressure_transitions += o.pressure_transitions;
+    breaker_opens += o.breaker_opens;
+    breaker_probes += o.breaker_probes;
+    breaker_rejections += o.breaker_rejections;
+    peak_input_backlog = peak_input_backlog > o.peak_input_backlog
+                             ? peak_input_backlog
+                             : o.peak_input_backlog;
+    if (o.last_input_backlog > 0) last_input_backlog = o.last_input_backlog;
+  }
+};
+
 /// \brief Central sink for all measurements of one simulated run.
 class MetricsHub {
  public:
@@ -253,6 +302,7 @@ class MetricsHub {
     scaling_.MergeFrom(other.scaling_);
     invariants_.MergeFrom(other.invariants_);
     recovery_.MergeFrom(other.recovery_);
+    overload_.MergeFrom(other.overload_);
   }
 
   ScalingMetrics& scaling() { return scaling_; }
@@ -261,6 +311,8 @@ class MetricsHub {
   const InvariantMonitor& invariants() const { return invariants_; }
   RecoveryMetrics& recovery() { return recovery_; }
   const RecoveryMetrics& recovery() const { return recovery_; }
+  OverloadMetrics& overload() { return overload_; }
+  const OverloadMetrics& overload() const { return overload_; }
 
  private:
   TimeSeries latency_;
@@ -271,6 +323,7 @@ class MetricsHub {
   ScalingMetrics scaling_;
   InvariantMonitor invariants_;
   RecoveryMetrics recovery_;
+  OverloadMetrics overload_;
 };
 
 /// Detects the end of the scaling period per the paper's rule: the first

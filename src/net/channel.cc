@@ -199,6 +199,18 @@ StreamElement Channel::PopInput() {
   return e;
 }
 
+StreamElement Channel::RemoveInputAt(size_t pos) {
+  DRRS_CHECK(pos < input_queue_.size());
+  StreamElement e = std::move(input_queue_[pos]);
+  // NOLINTNEXTLINE(drrs-audit-hook-coverage): the overload controller fires
+  // Auditor::OnRecordShed for every removal before calling this; the erase
+  // itself is credit bookkeeping via NotifyInputConsumed().
+  input_queue_.erase(pos);
+  ++shed_elements_;
+  NotifyInputConsumed();
+  return e;
+}
+
 void Channel::NotifyInputConsumed() {
   if (remote()) {
     // The sender's transmit state is not touchable from the receiver's

@@ -72,6 +72,29 @@ void SourceTask::RunOnce() {
     return;
   }
 
+  // Overload throttling (token bucket): a denied record stays pending with
+  // its feed-arrival time intact, so its eventual emission still accrues the
+  // full queueing delay — shedding latency honesty onto the throttle would
+  // hide the very overload it mitigates.
+  if (throttle_ != nullptr) {
+    sim::SimTime retry_at = now;
+    if (!throttle_->AdmitRecord(now, &retry_at)) {
+      EnterStall(metrics::StallReason::kThrottled);
+      if (!throttle_wakeup_scheduled_) {
+        throttle_wakeup_scheduled_ = true;
+        sim_->ScheduleRawAt(
+            std::max(retry_at, now),
+            [](void* arg) {
+              auto* self = static_cast<SourceTask*>(arg);
+              self->throttle_wakeup_scheduled_ = false;
+              self->MaybeSchedule();
+            },
+            this);
+      }
+      return;
+    }
+  }
+
   StreamElement e = pending_;
   has_pending_ = false;
   e.create_time = pending_arrival_;

@@ -16,6 +16,19 @@ struct SourceTiming {
   sim::SimTime marker_interval = sim::Millis(250);
 };
 
+/// Admission control over source emission (overload throttling). Installed
+/// by the overload controller; consulted once per data record. Markers,
+/// watermarks and control elements are exempt — throttling slows the data
+/// feed, it never stalls progress signals.
+class SourceThrottle {
+ public:
+  virtual ~SourceThrottle() = default;
+  /// True to emit now (consuming whatever budget the throttle tracks);
+  /// false to defer, with `*retry_at` set to the earliest simulated time
+  /// admission can succeed.
+  virtual bool AdmitRecord(sim::SimTime now, sim::SimTime* retry_at) = 0;
+};
+
 /// \brief Rate-controlled source: drains a SourceGenerator feed, subject to
 /// downstream backpressure, interleaving watermarks and latency markers.
 ///
@@ -42,6 +55,11 @@ class SourceTask : public Task {
   bool exhausted() const { return exhausted_; }
   uint64_t emitted_records() const { return emitted_records_; }
 
+  /// Install (or clear, with nullptr) the overload source throttle. Null
+  /// when overload control is off: the emission path pays one pointer test.
+  void set_throttle(SourceThrottle* throttle) { throttle_ = throttle; }
+  SourceThrottle* throttle() const { return throttle_; }
+
   /// Feed backlog proxy: how far the pending element's arrival lags now().
   sim::SimTime current_lag() const;
 
@@ -57,6 +75,8 @@ class SourceTask : public Task {
   bool has_pending_ = false;
   bool exhausted_ = false;
   bool arrival_wakeup_scheduled_ = false;
+  bool throttle_wakeup_scheduled_ = false;
+  SourceThrottle* throttle_ = nullptr;
 
   sim::SimTime next_marker_ = 0;
   sim::SimTime last_watermark_emit_ = -1;

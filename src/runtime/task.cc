@@ -215,6 +215,11 @@ uint64_t Task::Recover(const std::vector<state::KeyGroupState>& snapshot) {
 sim::SimTime Task::now() const { return sim_->now(); }
 
 void Task::OnBatchAvailable(net::Channel* channel, size_t appended) {
+  if (arrival_gate_ != nullptr && appended > 0) {
+    // The gate sheds from the freshly appended suffix only, so the memo scan
+    // below still sees exactly the elements that survived delivery.
+    appended = arrival_gate_->OnArrivals(this, channel, appended);
+  }
   if (suspend_memo_) {
     // A previous pass found nothing processable. A freshly delivered element
     // can only change that if it became a channel head, or if it sits within

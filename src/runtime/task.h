@@ -45,6 +45,21 @@ class SinkCollector {
                         const dataflow::StreamElement& record) = 0;
 };
 
+class Task;
+
+/// Admission control over freshly delivered input (overload load shedding).
+/// Installed by the overload controller; consulted in OnBatchAvailable
+/// before the suspend-memo scan, so a shed element never wakes the task.
+class ArrivalGate {
+ public:
+  virtual ~ArrivalGate() = default;
+  /// Called after `appended` elements landed at the tail of `channel`'s
+  /// input queue. The gate may remove elements from that suffix (via
+  /// Channel::RemoveInputAt) and returns how many of them remain.
+  virtual size_t OnArrivals(Task* task, net::Channel* channel,
+                            size_t appended) = 0;
+};
+
 /// \brief One operator instance (Flink subtask): pulls elements from its
 /// input channels, runs the operator, pushes outputs, and cooperates with
 /// checkpointing and scaling through pluggable handlers/hooks.
@@ -81,6 +96,10 @@ class Task : public net::ChannelReceiver, public dataflow::OperatorContext {
     checkpoint_coordinator_ = c;
   }
   void set_sink_collector(SinkCollector* c) { sink_collector_ = c; }
+  /// Install (or clear, with nullptr) the overload arrival gate. Null when
+  /// overload control is off, so the delivery hot path pays one pointer test.
+  void set_arrival_gate(ArrivalGate* gate) { arrival_gate_ = gate; }
+  ArrivalGate* arrival_gate() const { return arrival_gate_; }
   void set_subtask_index(uint32_t idx) { subtask_ = idx; }
 
   /// Create the keyed state backend (stateful operators only).
@@ -239,6 +258,7 @@ class Task : public net::ChannelReceiver, public dataflow::OperatorContext {
   TaskHook* hook_ = nullptr;
   CheckpointCoordinator* checkpoint_coordinator_ = nullptr;
   SinkCollector* sink_collector_ = nullptr;
+  ArrivalGate* arrival_gate_ = nullptr;
 
   std::vector<net::Channel*> input_channels_;
   std::vector<OutputEdge> output_edges_;

@@ -70,6 +70,7 @@ class ScaleContext {
   ScalingRails& rails() { return rails_; }
   BarrierInjector& injector() { return injector_; }
   StateTransfer& transfer() { return transfer_; }
+  const StateTransfer& transfer() const { return transfer_; }
   /// The current operation's transfer session (valid between BeginScale and
   /// the next BeginScale).
   TransferSession& session() { return session_; }

@@ -18,6 +18,24 @@ namespace {
 constexpr uint64_t kChunkEnvelopeBytes = 256;
 }  // namespace
 
+sim::SimTime ChunkRetryBackoff(const ChunkRetryPolicy& policy,
+                               uint32_t attempts) {
+  sim::SimTime backoff = std::min(policy.ack_timeout_base,
+                                  policy.ack_timeout_max);
+  for (uint32_t i = 0; i < attempts && backoff < policy.ack_timeout_max; ++i) {
+    // Cap-exact doubling: once the next step would pass the cap, land on the
+    // cap itself. (A raw `base << attempts` overflows int64 for attempts
+    // near 63 — and for large bases much earlier — producing a negative
+    // timeout that fires immediately.)
+    if (backoff > policy.ack_timeout_max / 2) {
+      backoff = policy.ack_timeout_max;
+    } else {
+      backoff *= 2;
+    }
+  }
+  return backoff;
+}
+
 uint64_t StateTransfer::Enqueue(runtime::Task* from, net::Channel* rail,
                                 state::KeyGroupState state, bool whole,
                                 const StreamElement& proto, bool priority) {
@@ -33,6 +51,7 @@ uint64_t StateTransfer::Enqueue(runtime::Task* from, net::Channel* rail,
   transit.state = std::move(state);
   transit.whole_group = whole;
   transit.scale = proto.scale_id;
+  ++enqueued_[proto.scale_id];
   transit.chunk = chunk;
   transit.rail = rail;
   transit.to = rail->receiver_id();
@@ -76,9 +95,7 @@ void StateTransfer::ArmAckTimer(uint64_t id) {
   auto it = in_transit_.find(id);
   if (it == in_transit_.end()) return;
   const Transit& transit = it->second;
-  sim::SimTime backoff = std::min(
-      policy_.ack_timeout_base << std::min<uint32_t>(transit.attempts, 31),
-      policy_.ack_timeout_max);
+  sim::SimTime backoff = ChunkRetryBackoff(policy_, transit.attempts);
   // Size-proportional slack covers the chunk's own wire time plus the
   // rail's current backlog (serializer busy time and any credit-blocked
   // queue): a migration several chunks deep legitimately delays the
@@ -269,6 +286,11 @@ size_t StateTransfer::in_transit_count(dataflow::ScaleId scale) const {
     if (transit.scale == scale) ++n;
   }
   return n;
+}
+
+uint64_t StateTransfer::enqueued_count(dataflow::ScaleId scale) const {
+  auto it = enqueued_.find(scale);
+  return it == enqueued_.end() ? 0 : it->second;
 }
 
 }  // namespace drrs::scaling

@@ -33,6 +33,14 @@ struct ChunkRetryPolicy {
   uint32_t max_attempts = 10;
 };
 
+/// Ack-timeout backoff for the (0-based) retransmission attempt counter:
+/// `ack_timeout_base` doubled per attempt, saturating at `ack_timeout_max`
+/// exactly. The doubling stops the step *before* it would pass the cap, so
+/// the sequence hits the cap value itself (never overshoots) and cannot
+/// overflow sim::SimTime no matter how large `attempts` grows.
+sim::SimTime ChunkRetryBackoff(const ChunkRetryPolicy& policy,
+                               uint32_t attempts);
+
 /// \brief Moves keyed state between instances as sized chunk elements over
 /// scaling-path channels. The serialized cells travel out-of-band in an
 /// in-transit registry; the chunk element models the wire cost.
@@ -86,6 +94,10 @@ class StateTransfer {
   size_t in_transit_count() const { return in_transit_.size(); }
   /// Entries belonging to one scaling operation (leak check granularity).
   size_t in_transit_count(dataflow::ScaleId scale) const;
+  /// Chunks ever enqueued for one scaling operation (monotone; feeds the
+  /// watchdog's stage detection: enqueued > 0 with nothing in transit means
+  /// the transfer stage finished).
+  uint64_t enqueued_count(dataflow::ScaleId scale) const;
 
   /// Chunk staging-buffer footprint (bytes of arena blocks held by chunks
   /// currently on the wire) and its high-water mark across the run. The
@@ -123,6 +135,8 @@ class StateTransfer {
   /// Ordered map: AbortScale and the per-scale count iterate it, and a
   /// decision path must not depend on hash-bucket order.
   std::map<uint64_t, Transit> in_transit_;
+  /// Per-scale total of chunks ever enqueued (see enqueued_count()).
+  std::map<dataflow::ScaleId, uint64_t> enqueued_;
   /// Simulator of the graph the chunks travel in, captured at first Enqueue
   /// (audit-hook access for AbortScale, which has no task handle).
   sim::Simulator* sim_ = nullptr;

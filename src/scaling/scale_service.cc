@@ -110,6 +110,29 @@ ScalingStrategy* ScaleService::GetOrCreate(dataflow::OperatorId op) {
 Status ScaleService::RequestRescale(dataflow::OperatorId op,
                                     uint32_t target_parallelism) {
   DRRS_RETURN_NOT_OK(ValidateRequest(op, target_parallelism));
+  // Admission gates, cheapest first. Overload pressure: starting a scale
+  // while the job is throttled adds migration traffic exactly when it can
+  // least be absorbed — the caller retries once pressure subsides.
+  if (pressure_provider_ &&
+      pressure_provider_() >= 3 /* overload::PressureLevel::kThrottled */) {
+    ++graph_->hub()->overload().breaker_rejections;
+    return Status::ResourceExhausted(
+        "scale admission rejected: job under overload throttling");
+  }
+  if (overload::CircuitBreaker* breaker = BreakerFor(op)) {
+    const auto prev = breaker->state();
+    if (!breaker->Admit(graph_->sim()->now())) {
+      ++graph_->hub()->overload().breaker_rejections;
+      return Status::ResourceExhausted("scale admission breaker open");
+    }
+    if (breaker->state() != prev) {
+      // Open -> HalfOpen: this request runs as the probe.
+      ++graph_->hub()->overload().breaker_probes;
+      DRRS_TRACE_CALL(graph_->sim()->tracer(),
+                      OnBreakerTransition(op, static_cast<int>(prev),
+                                          static_cast<int>(breaker->state())));
+    }
+  }
   // A fresh user request starts with a clean abort budget; only the
   // watchdog's own re-admissions carry attempts across.
   if (options_.retry.enabled) watches_[op].attempts = 0;
@@ -155,12 +178,36 @@ Status ScaleService::Admit(dataflow::OperatorId op, uint32_t target,
   return st;
 }
 
+sim::SimTime ScaleService::StageBudget(ScaleStage stage) const {
+  const Options::RetryPolicy& retry = options_.retry;
+  sim::SimTime budget = 0;
+  switch (stage) {
+    case ScaleStage::kIdle:
+      break;
+    case ScaleStage::kAdmission:
+      budget = retry.admission_budget;
+      break;
+    case ScaleStage::kBarrier:
+      budget = retry.barrier_budget;
+      break;
+    case ScaleStage::kTransfer:
+      budget = retry.transfer_budget;
+      break;
+    case ScaleStage::kCompletion:
+      budget = retry.completion_budget;
+      break;
+  }
+  return budget > 0 ? budget : retry.progress_deadline;
+}
+
 void ScaleService::ArmDeadline(dataflow::OperatorId op, uint32_t target) {
   if (!options_.retry.enabled) return;
   Watch& w = watches_[op];
   w.target = target;
+  ScalingStrategy* strategy = strategy_for(op);
+  w.armed_stage = strategy ? strategy->stage() : ScaleStage::kAdmission;
   uint64_t epoch = ++w.epoch;
-  graph_->sim()->ScheduleAfter(options_.retry.progress_deadline,
+  graph_->sim()->ScheduleAfter(StageBudget(w.armed_stage),
                                [this, op, epoch]() { OnDeadline(op, epoch); });
 }
 
@@ -171,6 +218,17 @@ void ScaleService::OnDeadline(dataflow::OperatorId op, uint64_t epoch) {
   ScalingStrategy* strategy = strategy_for(op);
   if (strategy == nullptr || strategy->done()) {
     w.attempts = 0;  // finished within its deadline
+    return;
+  }
+  // Per-stage budgets: an operation that advanced to a later protocol stage
+  // since the deadline was armed has made progress — give the new stage its
+  // own budget instead of aborting mid-flight.
+  ScaleStage stage = strategy->stage();
+  if (stage > w.armed_stage) {
+    DRRS_TRACE_CALL(graph_->sim()->tracer(),
+                    OnScaleStageProgress(op, static_cast<int>(w.armed_stage),
+                                         static_cast<int>(stage)));
+    ArmDeadline(op, w.target);
     return;
   }
   metrics::RecoveryMetrics& recovery = graph_->hub()->recovery();
@@ -191,12 +249,15 @@ void ScaleService::OnDeadline(dataflow::OperatorId op, uint64_t epoch) {
                     << w.attempts << " aborted attempt(s): "
                     << "no progress within the deadline budget";
     pending_.erase(op);
+    RecordBreakerFailure(op);
+    w.abort_pending = true;
     strategy->CancelScale(options_.retry.abort_grace, nullptr);
     return;
   }
   ++w.attempts;
   uint32_t attempt = w.attempts;
   ++recovery.scale_aborts;
+  RecordBreakerFailure(op);
   DRRS_TRACE_CALL(graph_->sim()->tracer(),
                   OnScaleWatchdog(op, attempt, /*cancelled=*/false));
   DRRS_TRACE_ONLY({
@@ -207,6 +268,7 @@ void ScaleService::OnDeadline(dataflow::OperatorId op, uint64_t epoch) {
   DRRS_LOG(Warn) << "scale-retry: operator " << op
                  << " missed its progress deadline, aborting (attempt "
                  << attempt << "/" << options_.retry.max_attempts << ")";
+  w.abort_pending = true;
   bool accepted = strategy->CancelScale(
       options_.retry.abort_grace, [this, op, attempt](bool /*aborted*/) {
         if (watches_.find(op) == watches_.end()) return;
@@ -220,7 +282,9 @@ void ScaleService::OnDeadline(dataflow::OperatorId op, uint64_t epoch) {
       });
   if (!accepted) {
     // Mechanism without cancel support (or a cancel already in flight):
-    // keep watching — the operation may still finish on its own.
+    // keep watching — the operation may still finish on its own, and that
+    // finish is a genuine completion, not an abort teardown.
+    w.abort_pending = false;
     DRRS_LOG(Warn) << "scale-retry: " << strategy->name()
                    << " cannot abort; re-arming the deadline";
     ArmDeadline(op, w.target);
@@ -230,11 +294,73 @@ void ScaleService::OnDeadline(dataflow::OperatorId op, uint64_t epoch) {
 void ScaleService::RetryAfterAbort(dataflow::OperatorId op) {
   auto it = watches_.find(op);
   if (it == watches_.end()) return;
+  if (overload::CircuitBreaker* breaker = BreakerFor(op)) {
+    const sim::SimTime now = graph_->sim()->now();
+    const auto prev = breaker->state();
+    if (!breaker->Admit(now)) {
+      // Breaker open: the re-admission waits for the half-open probe window
+      // instead of hammering a failing operation.
+      ++graph_->hub()->overload().breaker_rejections;
+      graph_->sim()->ScheduleAt(std::max(breaker->retry_at(), now + 1),
+                                [this, op]() { RetryAfterAbort(op); });
+      return;
+    }
+    if (breaker->state() != prev) {
+      ++graph_->hub()->overload().breaker_probes;
+      DRRS_TRACE_CALL(graph_->sim()->tracer(),
+                      OnBreakerTransition(op, static_cast<int>(prev),
+                                          static_cast<int>(breaker->state())));
+    }
+  }
   ++graph_->hub()->recovery().scale_retries;
   Status st = Admit(op, it->second.target, GetOrCreate(op));
   if (!st.ok()) {
     DRRS_LOG(Error) << "scale-retry: re-admission for operator " << op
                     << " failed: " << st.ToString();
+  }
+}
+
+overload::CircuitBreaker* ScaleService::BreakerFor(dataflow::OperatorId op) {
+  if (!options_.breaker.enabled) return nullptr;
+  auto it = breakers_.find(op);
+  if (it == breakers_.end()) {
+    it = breakers_.emplace(op, overload::CircuitBreaker(options_.breaker))
+             .first;
+  }
+  return &it->second;
+}
+
+const overload::CircuitBreaker* ScaleService::breaker_for(
+    dataflow::OperatorId op) const {
+  auto it = breakers_.find(op);
+  return it == breakers_.end() ? nullptr : &it->second;
+}
+
+void ScaleService::RecordBreakerFailure(dataflow::OperatorId op) {
+  overload::CircuitBreaker* breaker = BreakerFor(op);
+  if (breaker == nullptr) return;
+  const auto prev = breaker->state();
+  const uint64_t opens = breaker->opens();
+  breaker->OnFailure(graph_->sim()->now());
+  if (breaker->opens() > opens) {
+    ++graph_->hub()->overload().breaker_opens;
+  }
+  if (breaker->state() != prev) {
+    DRRS_TRACE_CALL(graph_->sim()->tracer(),
+                    OnBreakerTransition(op, static_cast<int>(prev),
+                                        static_cast<int>(breaker->state())));
+  }
+}
+
+void ScaleService::RecordBreakerSuccess(dataflow::OperatorId op) {
+  overload::CircuitBreaker* breaker = BreakerFor(op);
+  if (breaker == nullptr) return;
+  const auto prev = breaker->state();
+  breaker->OnSuccess();
+  if (breaker->state() != prev) {
+    DRRS_TRACE_CALL(graph_->sim()->tracer(),
+                    OnBreakerTransition(op, static_cast<int>(prev),
+                                        static_cast<int>(breaker->state())));
   }
 }
 
@@ -255,6 +381,21 @@ ScalePlan ScaleService::SupersedingPlan(dataflow::OperatorId op,
 }
 
 void ScaleService::OnStrategyIdle() {
+  // Completion feedback for the admission breakers: every operator whose
+  // strategy reached idle finished its operation (a breaker in half-open
+  // state closes; a closed one clears its failure streak). An idle that is
+  // the teardown of an abort consumes the abort_pending flag instead — it
+  // must not launder a failure into a success.
+  for (auto& [op, breaker] : breakers_) {
+    ScalingStrategy* strategy = strategy_for(op);
+    if (strategy == nullptr || !strategy->done()) continue;
+    auto wit = watches_.find(op);
+    if (wit != watches_.end() && wit->second.abort_pending) {
+      wit->second.abort_pending = false;
+      continue;
+    }
+    RecordBreakerSuccess(op);
+  }
   if (pending_.empty() || drain_scheduled_) return;
   // Deferred one tick: the idle notification fires inside the finishing
   // strategy's teardown, which must complete before a new operation starts.

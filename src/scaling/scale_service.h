@@ -1,9 +1,11 @@
 #ifndef DRRS_SCALING_SCALE_SERVICE_H_
 #define DRRS_SCALING_SCALE_SERVICE_H_
 
+#include <functional>
 #include <map>
 #include <memory>
 
+#include "overload/circuit_breaker.h"
 #include "scaling/drrs/drrs.h"
 #include "scaling/stop_restart.h"
 #include "scaling/strategy.h"
@@ -77,8 +79,26 @@ class ScaleService {
       uint32_t max_attempts = 3;
       sim::SimTime retry_backoff = sim::Millis(200);
       double backoff_factor = 2.0;
+      /// Optional per-stage budgets refining the single progress deadline
+      /// (watchdog hierarchy: admission -> barrier -> transfer ->
+      /// completion). When the budget of the operation's current
+      /// ScalingStrategy::stage() is > 0, the deadline is armed with that
+      /// budget, and a watchdog firing that finds the operation in a *later*
+      /// stage than when it armed counts as progress: the deadline re-arms
+      /// with the new stage's budget instead of aborting. A <= 0 budget
+      /// falls back to `progress_deadline` (the legacy single deadline).
+      sim::SimTime admission_budget = 0;
+      sim::SimTime barrier_budget = 0;
+      sim::SimTime transfer_budget = 0;
+      sim::SimTime completion_budget = 0;
     };
     RetryPolicy retry;
+    /// Circuit breaker over scale admission (one breaker per operator):
+    /// watchdog aborts and cancellations count as failures, opening the
+    /// breaker after `failure_threshold` of them. While open, new
+    /// RequestRescale calls are rejected with ResourceExhausted and the
+    /// watchdog's own re-admissions wait for the half-open probe window.
+    overload::CircuitBreaker::Policy breaker;
     /// Per-chunk ack/retransmission for every strategy's state transfers
     /// (applied to each strategy as it is created).
     ChunkRetryPolicy chunk_retry;
@@ -113,12 +133,31 @@ class ScaleService {
   /// Requests accepted but not yet started (diagnostic).
   size_t pending_requests() const { return pending_.size(); }
 
+  /// Overload-pressure feed for admission control: returns the current
+  /// overload::PressureLevel as an int (the service treats >= 3, i.e.
+  /// kThrottled, as "reject new scale requests" — a scale operation adds
+  /// migration traffic exactly when the job can least afford it). Unset
+  /// (default) means pressure never gates admission.
+  void set_pressure_provider(std::function<int()> provider) {
+    pressure_provider_ = std::move(provider);
+  }
+
+  /// The admission breaker of `op` (null when the policy is disabled or no
+  /// request for `op` was ever seen). Diagnostic / test access.
+  const overload::CircuitBreaker* breaker_for(dataflow::OperatorId op) const;
+
  private:
   /// Per-operator watchdog state for Options::RetryPolicy.
   struct Watch {
     uint64_t epoch = 0;     ///< invalidates stale deadline callbacks
     uint32_t attempts = 0;  ///< aborts charged to the current request
     uint32_t target = 0;    ///< target parallelism being watched
+    /// Stage observed when the current deadline was armed; a later stage at
+    /// expiry means progress (per-stage budgets re-arm instead of aborting).
+    ScaleStage armed_stage = ScaleStage::kIdle;
+    /// An abort is in flight: the next idle notification is the abort's own
+    /// teardown and must not count as a breaker success.
+    bool abort_pending = false;
   };
 
   Status ValidateRequest(dataflow::OperatorId op, uint32_t target) const;
@@ -132,6 +171,17 @@ class ScaleService {
   void ArmDeadline(dataflow::OperatorId op, uint32_t target);
   void OnDeadline(dataflow::OperatorId op, uint64_t epoch);
   void RetryAfterAbort(dataflow::OperatorId op);
+  /// Deadline for `stage` under the retry policy (per-stage budget when set,
+  /// else the single progress deadline).
+  sim::SimTime StageBudget(ScaleStage stage) const;
+  /// The admission breaker of `op`, created on first use; null when the
+  /// breaker policy is disabled.
+  overload::CircuitBreaker* BreakerFor(dataflow::OperatorId op);
+  /// Charge one failure (abort/cancellation) to `op`'s breaker, with
+  /// metrics and the state-transition trace hook.
+  void RecordBreakerFailure(dataflow::OperatorId op);
+  /// Report successful completion of `op`'s operation to its breaker.
+  void RecordBreakerSuccess(dataflow::OperatorId op);
 
   runtime::ExecutionGraph* graph_;
   Options options_;
@@ -139,6 +189,10 @@ class ScaleService {
   /// op -> deferred target parallelism (latest request wins).
   std::map<dataflow::OperatorId, uint32_t> pending_;
   std::map<dataflow::OperatorId, Watch> watches_;
+  /// Per-operator admission breakers (empty while the policy is disabled).
+  /// Ordered map: OnStrategyIdle iterates it on a decision path.
+  std::map<dataflow::OperatorId, overload::CircuitBreaker> breakers_;
+  std::function<int()> pressure_provider_;
   bool drain_scheduled_ = false;
 };
 

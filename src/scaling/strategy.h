@@ -35,6 +35,20 @@ ScalePlan PlanBalancedRescale(runtime::ExecutionGraph* graph,
                               uint32_t new_parallelism,
                               double stickiness = 0.3);
 
+/// Coarse progress stage of a scaling operation, ordered by protocol
+/// advancement. The watchdog's per-stage deadline budgets key off this: an
+/// operation that moved to a later stage since the deadline was armed has
+/// made progress and earns a fresh budget instead of an abort.
+enum class ScaleStage : uint8_t {
+  kIdle = 0,    ///< no operation in flight
+  kAdmission,   ///< started; no barriers opened, no state sent yet
+  kBarrier,     ///< subscales open, waiting on barrier propagation
+  kTransfer,    ///< state chunks on the wire
+  kCompletion,  ///< everything sent and installed; confirm/teardown pending
+};
+
+const char* ScaleStageName(ScaleStage stage);
+
 /// \brief Interface of an executable scaling mechanism.
 ///
 /// A strategy is constructed idle; StartScale begins one scaling operation
@@ -63,6 +77,11 @@ class ScalingStrategy {
 
   /// True when no scaling operation is in flight.
   bool done() const { return !core_.active(); }
+
+  /// Coarse progress stage of the in-flight operation, derived from the
+  /// shared core (open subscales + transfer registry), so every mechanism
+  /// gets it without protocol-specific plumbing.
+  ScaleStage stage() const;
 
   /// Whether StartScale on a busy strategy supersedes the in-flight
   /// operation (Section IV-B) instead of failing.

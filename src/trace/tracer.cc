@@ -33,6 +33,8 @@ const char* StallReasonName(metrics::StallReason reason) {
       return "stall.alignment";
     case metrics::StallReason::kBackpressure:
       return "stall.backpressure";
+    case metrics::StallReason::kThrottled:
+      return "stall.throttled";
   }
   return "stall.unknown";
 }
@@ -317,6 +319,72 @@ void Tracer::OnTaskRecovered(dataflow::InstanceId instance,
   Emit(e);
 }
 
+// ---- overload hooks ----
+
+void Tracer::OnPressureChange(dataflow::OperatorId op, int from_level,
+                              int to_level, uint64_t backlog) {
+  if (!enabled(kRuntime)) return;
+  TraceEvent e;
+  e.phase = TraceEvent::Phase::kInstant;
+  e.category = kRuntime;
+  e.name = "pressure_change";
+  e.track = kTrackControl;
+  e.ts = Now();
+  e.args[0] = {"op", op};
+  e.args[1] = {"from", from_level};
+  e.args[2] = {"to", to_level};
+  e.args[3] = {"backlog", static_cast<int64_t>(backlog)};
+  e.num_args = 4;
+  Emit(e);
+}
+
+void Tracer::OnRecordsShed(dataflow::InstanceId instance,
+                           dataflow::OperatorId op, int policy,
+                           uint64_t count) {
+  if (!enabled(kRuntime)) return;
+  TraceEvent e;
+  e.phase = TraceEvent::Phase::kInstant;
+  e.category = kRuntime;
+  e.name = "records_shed";
+  e.track = TaskTrack(instance);
+  e.ts = Now();
+  e.args[0] = {"op", op};
+  e.args[1] = {"policy", policy};
+  e.args[2] = {"count", static_cast<int64_t>(count)};
+  e.num_args = 3;
+  Emit(e);
+}
+
+void Tracer::OnThrottleChange(dataflow::InstanceId instance,
+                              int64_t rate_per_sec) {
+  if (!enabled(kRuntime)) return;
+  TraceEvent e;
+  e.phase = TraceEvent::Phase::kInstant;
+  e.category = kRuntime;
+  e.name = "source_throttle";
+  e.track = TaskTrack(instance);
+  e.ts = Now();
+  e.args[0] = {"rate_per_sec", rate_per_sec};
+  e.num_args = 1;
+  Emit(e);
+}
+
+void Tracer::OnBreakerTransition(dataflow::OperatorId op, int from_state,
+                                 int to_state) {
+  if (!enabled(kScale)) return;
+  TraceEvent e;
+  e.phase = TraceEvent::Phase::kInstant;
+  e.category = kScale;
+  e.name = "scale_breaker";
+  e.track = kTrackControl;
+  e.ts = Now();
+  e.args[0] = {"op", op};
+  e.args[1] = {"from", from_state};
+  e.args[2] = {"to", to_state};
+  e.num_args = 3;
+  Emit(e);
+}
+
 // ---- scaling/core hooks ----
 
 void Tracer::OnScaleBegin(dataflow::ScaleId scale) {
@@ -551,6 +619,22 @@ void Tracer::OnScaleWatchdog(dataflow::OperatorId op, uint32_t attempt,
   e.args[0] = {"op", op};
   e.args[1] = {"attempt", attempt};
   e.num_args = 2;
+  Emit(e);
+}
+
+void Tracer::OnScaleStageProgress(dataflow::OperatorId op, int from_stage,
+                                  int to_stage) {
+  if (!enabled(kScale)) return;
+  TraceEvent e;
+  e.phase = TraceEvent::Phase::kInstant;
+  e.category = kScale;
+  e.name = "scale_stage_progress";
+  e.track = kTrackControl;
+  e.ts = Now();
+  e.args[0] = {"op", op};
+  e.args[1] = {"from", from_stage};
+  e.args[2] = {"to", to_stage};
+  e.num_args = 3;
   Emit(e);
 }
 

@@ -154,6 +154,23 @@ class Tracer {
   void OnTaskCrashed(dataflow::InstanceId instance);
   void OnTaskRecovered(dataflow::InstanceId instance, uint64_t replayed);
 
+  // ---- overload hooks (overload::OverloadController, ScaleService) ----
+
+  /// Pressure-level transition at the monitored operator. Levels are the
+  /// overload::PressureLevel ordinals (0 ok .. 3 throttled).
+  void OnPressureChange(dataflow::OperatorId op, int from_level, int to_level,
+                        uint64_t backlog);
+  /// `count` records shed from `instance`'s input in one delivery batch.
+  /// `policy` is the overload::ShedPolicy ordinal.
+  void OnRecordsShed(dataflow::InstanceId instance, dataflow::OperatorId op,
+                     int policy, uint64_t count);
+  /// The source throttle was enabled (rate_per_sec > 0) or lifted (0).
+  void OnThrottleChange(dataflow::InstanceId instance, int64_t rate_per_sec);
+  /// Scale-admission circuit breaker transition; states are the
+  /// overload::CircuitBreaker::State ordinals (0 closed, 1 open, 2 half-open).
+  void OnBreakerTransition(dataflow::OperatorId op, int from_state,
+                           int to_state);
+
   // ---- scaling/core hooks ----
 
   void OnScaleBegin(dataflow::ScaleId scale);
@@ -179,6 +196,11 @@ class Tracer {
   /// cancellation from an abort-and-retry.
   void OnScaleWatchdog(dataflow::OperatorId op, uint32_t attempt,
                        bool cancelled);
+  /// Watchdog re-armed without abort: the operation advanced from stage
+  /// `from_stage` to `to_stage` (scaling::ScaleStage ordinals) within its
+  /// budget.
+  void OnScaleStageProgress(dataflow::OperatorId op, int from_stage,
+                            int to_stage);
 
   // ---- fault hooks (fault::FaultInjector) ----
 

@@ -42,8 +42,9 @@ std::string AuditReport::Summary() const {
      << " protocol=" << CountOf(AuditCheck::kProtocol)
      << " determinism=" << CountOf(AuditCheck::kDeterminism) << "]"
      << "; records tracked=" << records_tracked
-     << " processed=" << records_processed
-     << ", chunks tracked=" << chunks_tracked
+     << " processed=" << records_processed;
+  if (records_shed > 0) os << " shed=" << records_shed;
+  os << ", chunks tracked=" << chunks_tracked
      << " installed=" << chunks_installed
      << ", scales=" << scales_observed << ", tie-break pops=" << tie_pops;
   if (chunks_lost + chunks_retransmitted + chunks_force_installed +
@@ -70,6 +71,8 @@ const char* Auditor::PhaseName(Phase phase) {
       return "held";
     case Phase::kDone:
       return "processed";
+    case Phase::kShed:
+      return "shed";
   }
   return "?";
 }
@@ -249,6 +252,12 @@ void Auditor::OnRecordProcessed(const StreamElement& record,
            << ") processed twice — duplicate processing at instance "
            << instance;
         AddViolation(AuditCheck::kConservation, os.str());
+      } else if (info->phase == Phase::kShed) {
+        std::ostringstream os;
+        os << "record " << record.audit_id << " (key " << record.key
+           << ") processed at instance " << instance
+           << " after being shed — shedding must be terminal";
+        AddViolation(AuditCheck::kConservation, os.str());
       } else if (info->phase != Phase::kInput && info->phase != Phase::kHeld) {
         std::ostringstream os;
         os << "record " << record.audit_id << " (key " << record.key
@@ -276,6 +285,30 @@ void Auditor::OnRecordProcessed(const StreamElement& record,
     last.instance = instance;
     last.time = Now();
   }
+}
+
+void Auditor::OnRecordShed(const StreamElement& record,
+                           dataflow::OperatorId op,
+                           dataflow::InstanceId instance) {
+  (void)op;
+  if (!options_.conservation) return;
+  RecordInfo* info = TrackedRecord(record.audit_id);
+  if (info == nullptr) return;
+  if (info->phase == Phase::kShed) {
+    std::ostringstream os;
+    os << "record " << record.audit_id << " (key " << record.key
+       << ") shed twice at instance " << instance;
+    AddViolation(AuditCheck::kConservation, os.str());
+  } else if (info->phase != Phase::kInput) {
+    std::ostringstream os;
+    os << "record " << record.audit_id << " (key " << record.key
+       << ") shed at instance " << instance << " while "
+       << PhaseName(info->phase)
+       << " — shedding is only legal from an input cache";
+    AddViolation(AuditCheck::kConservation, os.str());
+  }
+  info->phase = Phase::kShed;
+  ++records_shed_;
 }
 
 // ---------------------------------------------------------------------------
@@ -567,7 +600,9 @@ void Auditor::Finalize() {
     uint64_t leaked = 0;
     for (size_t i = 0; i < records_.size(); ++i) {
       const RecordInfo& info = records_[i];
-      if (info.phase == Phase::kDone) continue;
+      // Shed is a legal terminal: the record was deliberately and
+      // accountably removed, not lost.
+      if (info.phase == Phase::kDone || info.phase == Phase::kShed) continue;
       if (leaked < 8) {
         std::ostringstream os;
         os << "record " << (i + 1) << " (key " << info.key
@@ -619,6 +654,7 @@ void AuditReport::MergeFrom(const AuditReport& other) {
   dropped_violations += other.dropped_violations;
   records_tracked += other.records_tracked;
   records_processed += other.records_processed;
+  records_shed += other.records_shed;
   chunks_tracked += other.chunks_tracked;
   chunks_installed += other.chunks_installed;
   scales_observed += other.scales_observed;
@@ -638,6 +674,7 @@ AuditReport Auditor::Report() const {
   report.dropped_violations = dropped_;
   report.records_tracked = records_.size();
   report.records_processed = records_processed_;
+  report.records_shed = records_shed_;
   report.chunks_tracked = chunks_.size();
   report.chunks_installed = chunks_installed_;
   report.scales_observed = scales_observed_;

@@ -50,6 +50,10 @@ struct AuditReport {
   // Diagnostics (not violations).
   uint64_t records_tracked = 0;
   uint64_t records_processed = 0;
+  /// Records deliberately removed by overload load shedding — a legal
+  /// terminal phase, distinct from conservation leaks (zero when overload
+  /// control is off).
+  uint64_t records_shed = 0;
   uint64_t chunks_tracked = 0;
   uint64_t chunks_installed = 0;
   uint64_t scales_observed = 0;
@@ -156,6 +160,15 @@ class Auditor {
                          dataflow::OperatorId op,
                          dataflow::InstanceId instance);
 
+  // ---- overload hooks (overload::OverloadController) ----
+
+  /// A data record deliberately removed from `instance`'s input cache by
+  /// load shedding. Shedding is a legal terminal phase of the conservation
+  /// lifecycle (kInput -> kShed), not a leak; shedding a record that is not
+  /// in an input cache, or processing one after it was shed, is a violation.
+  void OnRecordShed(const dataflow::StreamElement& record,
+                    dataflow::OperatorId op, dataflow::InstanceId instance);
+
   // ---- scaling/core hooks ----
 
   void OnScaleBegin(dataflow::ScaleId scale);
@@ -217,6 +230,7 @@ class Auditor {
     kInput,       ///< in a receiver's input cache (or re-spliced there)
     kHeld,        ///< extracted/held by a scaling strategy
     kDone,        ///< processed by an operator or sink
+    kShed,        ///< removed by overload load shedding (legal terminal)
   };
   struct RecordInfo {
     Phase phase = Phase::kOutput;
@@ -266,6 +280,7 @@ class Auditor {
   // conservation: audit_id - 1 indexes records_.
   std::vector<RecordInfo> records_;
   uint64_t records_processed_ = 0;
+  uint64_t records_shed_ = 0;
 
   // ordering: (consumer op, sender instance, key) -> last observed stamp.
   std::map<std::tuple<dataflow::OperatorId, dataflow::InstanceId,

@@ -19,18 +19,24 @@ bool RateGenerator::Next(dataflow::StreamElement* out, sim::SimTime* arrival) {
   if (next_arrival_ >= params_.start + params_.duration) return false;
   *arrival = next_arrival_;
 
+  bool in_surge = params_.surge_at >= 0 && next_arrival_ >= params_.surge_at &&
+                  (params_.surge_until < 0 ||
+                   next_arrival_ < params_.surge_until);
   double rate = params_.events_per_second;
-  if (params_.surge_at >= 0 && next_arrival_ >= params_.surge_at) {
-    rate *= params_.surge_factor;
-  }
+  if (in_surge) rate *= params_.surge_factor;
   double mean_gap_us = 1e6 / rate;
   auto gap = static_cast<sim::SimTime>(
       params_.deterministic_gaps ? mean_gap_us
                                  : rng_.NextExponential(mean_gap_us));
   next_arrival_ += std::max<sim::SimTime>(1, gap);
 
+  uint64_t key = keys_.Sample();
+  if (in_surge && params_.surge_hot_fraction > 0.0 &&
+      rng_.NextDouble() < params_.surge_hot_fraction) {
+    key = rng_.NextBounded(std::max<uint64_t>(1, params_.surge_hot_keys));
+  }
   dataflow::StreamElement e = dataflow::MakeRecord(
-      params_.key_base + keys_.Sample(),
+      params_.key_base + key,
       static_cast<int64_t>(rng_.NextBounded(
           static_cast<uint64_t>(std::max<int64_t>(1, params_.value_range)))),
       /*event_time=*/*arrival, /*create_time=*/*arrival,

@@ -26,6 +26,16 @@ class RateGenerator : public dataflow::SourceGenerator {
     /// load fluctuation that motivates a scaling request).
     sim::SimTime surge_at = -1;
     double surge_factor = 1.0;
+    /// End of the surge window; negative keeps the surge open-ended (the
+    /// historical behavior). A bounded window models a flash crowd that
+    /// subsides, letting overload control de-escalate.
+    sim::SimTime surge_until = -1;
+    /// During the surge, draw the key from the `surge_hot_keys` lowest keys
+    /// with this probability instead of the base Zipf — a flash crowd piles
+    /// onto a handful of entities. 0 disables (and draws no extra randoms,
+    /// keeping default streams bit-identical).
+    double surge_hot_fraction = 0.0;
+    uint64_t surge_hot_keys = 8;
     /// Keys are drawn from [key_base, key_base + num_keys); distinct bases
     /// per source subtask keep streams disjoint when desired.
     uint64_t key_base = 0;

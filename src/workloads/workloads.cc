@@ -106,6 +106,54 @@ WorkloadSpec BuildMultiJobWorkload(const MultiJobParams& params) {
                       std::move(graph), scaled_op};
 }
 
+WorkloadSpec BuildFlashCrowdWorkload(const FlashCrowdParams& params) {
+  JobGraph graph(params.num_key_groups);
+
+  RateGenerator::Params gen;
+  gen.events_per_second = params.events_per_second;
+  gen.num_keys = params.num_keys;
+  gen.key_skew = params.skew;
+  gen.duration = params.duration;
+  gen.seed = params.seed;
+  gen.surge_at = params.surge_at;
+  gen.surge_factor = params.surge_factor;
+  gen.surge_until = params.surge_until;
+  gen.surge_hot_fraction = params.surge_hot_fraction;
+  gen.surge_hot_keys = params.surge_hot_keys;
+
+  OperatorSpec source;
+  source.name = "crowd-source";
+  source.parallelism = params.source_parallelism;
+  source.is_source = true;
+  source.record_cost = sim::Micros(10);
+  source.source_factory = MakeRateGeneratorFactory(gen);
+  OperatorId src = graph.AddOperator(std::move(source));
+
+  OperatorSpec agg;
+  agg.name = "aggregator";
+  agg.parallelism = params.agg_parallelism;
+  agg.is_stateful = true;
+  agg.record_cost = params.record_cost;
+  agg.emit_cost = sim::Micros(2);
+  uint64_t padding = params.state_bytes_per_key;
+  agg.factory = [padding]() {
+    return std::make_unique<KeyedAggregateOperator>(padding);
+  };
+  OperatorId aggregator = graph.AddOperator(std::move(agg));
+
+  OperatorSpec sink;
+  sink.name = "sink";
+  sink.parallelism = params.sink_parallelism;
+  sink.is_sink = true;
+  sink.record_cost = sim::Micros(5);
+  OperatorId sk = graph.AddOperator(std::move(sink));
+
+  DRRS_CHECK(graph.Connect(src, aggregator, Partitioning::kHash).ok());
+  DRRS_CHECK(graph.Connect(aggregator, sk, Partitioning::kRebalance).ok());
+
+  return WorkloadSpec{"flash-crowd", std::move(graph), aggregator};
+}
+
 WorkloadSpec BuildNexmarkWorkload(const NexmarkParams& params) {
   DRRS_CHECK(params.query == 7 || params.query == 8);
   JobGraph graph(params.num_key_groups);

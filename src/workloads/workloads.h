@@ -94,6 +94,32 @@ struct MultiJobParams {
 };
 WorkloadSpec BuildMultiJobWorkload(const MultiJobParams& params);
 
+/// \brief Flash-crowd overload workload: the 3-operator custom pipeline
+/// driven past aggregator capacity during a bounded surge window. Aggregator
+/// capacity is `agg_parallelism / record_cost` records/s; the defaults put
+/// the baseline at ~40% of capacity and the surge at ~2x capacity, with the
+/// surge concentrated on a handful of hot keys. Single-component by
+/// construction so it can host overload control and fault injection.
+struct FlashCrowdParams {
+  double events_per_second = 2000;   ///< baseline input rate
+  double surge_factor = 5.0;         ///< surge rate = base * factor
+  sim::SimTime surge_at = sim::Seconds(5);
+  sim::SimTime surge_until = sim::Seconds(15);
+  double surge_hot_fraction = 0.6;   ///< P(surge record hits a hot key)
+  uint64_t surge_hot_keys = 8;
+  uint64_t num_keys = 2000;
+  double skew = 0.3;
+  uint64_t state_bytes_per_key = 512;
+  sim::SimTime duration = sim::Seconds(25);
+  sim::SimTime record_cost = sim::Micros(400);
+  uint32_t source_parallelism = 1;
+  uint32_t agg_parallelism = 2;      ///< capacity = 2 / 400 us = 5000 rec/s
+  uint32_t sink_parallelism = 1;
+  uint32_t num_key_groups = 128;
+  uint64_t seed = 42;
+};
+WorkloadSpec BuildFlashCrowdWorkload(const FlashCrowdParams& params);
+
 }  // namespace drrs::workloads
 
 #endif  // DRRS_WORKLOADS_WORKLOADS_H_

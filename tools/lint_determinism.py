@@ -79,6 +79,9 @@ DECISION_PATH_DIRS = (
     "src/common",
     "src/net",
     "src/state",
+    # Overload control: every shed/throttle decision must be a pure function
+    # of (seed, event order) or bit-identity across thread counts breaks.
+    "src/overload",
 )
 CXX_EXTENSIONS = (".h", ".cc", ".cpp", ".hpp")
 
