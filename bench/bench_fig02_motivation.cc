@@ -31,6 +31,7 @@ int main(int argc, char** argv) {
   const SystemKind systems[] = {SystemKind::kUnbound, SystemKind::kOtfsFluid,
                                 SystemKind::kNoScale};
   std::vector<ExperimentResult> results;
+  drrs::bench::TagSet tags;
   for (SystemKind kind : systems) {
     // Fig 2's premise is an *adequately provisioned* pipeline under a fixed
     // input rate: No Scale is the ideal (stable latency) and any scaling
@@ -50,14 +51,15 @@ int main(int argc, char** argv) {
     // part of what this figure demonstrates.
     config.engine.check_invariants = true;
     if (args.faults) drrs::bench::ApplyFaultConfig(config);
+    const std::string tag = tags.Unique(SystemName(kind));
+    args.ApplyTelemetry(config, tag);
     if (!args.trace.empty()) {
-      config.trace_path = drrs::bench::TaggedPath(args.trace, SystemName(kind));
+      config.trace_path = drrs::bench::TaggedPath(args.trace, tag);
     }
     results.push_back(RunExperiment(spec, config));
     if (!args.json_summary.empty()) {
       drrs::Status js = drrs::harness::WriteJsonSummary(
-          results.back(),
-          drrs::bench::TaggedPath(args.json_summary, SystemName(kind)));
+          results.back(), drrs::bench::TaggedPath(args.json_summary, tag));
       if (!js.ok()) std::fprintf(stderr, "%s\n", js.ToString().c_str());
     }
   }

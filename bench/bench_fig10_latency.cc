@@ -21,7 +21,8 @@ using drrs::bench::BenchSetups;
 using drrs::bench::BuildByName;
 namespace sim = drrs::sim;
 
-void RunWorkload(const std::string& workload, const BenchArgs& args) {
+void RunWorkload(const std::string& workload, const BenchArgs& args,
+                 drrs::bench::TagSet& tags) {
   std::printf("\n=== Fig 10 (%s): end-to-end latency during 8->12 rescale ===\n",
               workload.c_str());
   const SystemKind systems[] = {SystemKind::kDrrs, SystemKind::kMegaphone,
@@ -31,17 +32,16 @@ void RunWorkload(const std::string& workload, const BenchArgs& args) {
     auto spec = BuildByName(workload, args.scale);
     auto config = BenchSetups::Config(kind);
     config.threads = args.threads;
+    const std::string tag =
+        tags.Unique(workload + "." + drrs::harness::SystemName(kind));
+    args.ApplyTelemetry(config, tag);
     if (!args.trace.empty()) {
-      config.trace_path = drrs::bench::TaggedPath(
-          args.trace, workload + "." + drrs::harness::SystemName(kind));
+      config.trace_path = drrs::bench::TaggedPath(args.trace, tag);
     }
     results.push_back(RunExperiment(spec, config));
     if (!args.json_summary.empty()) {
       drrs::Status js = drrs::harness::WriteJsonSummary(
-          results.back(),
-          drrs::bench::TaggedPath(
-              args.json_summary,
-              workload + "." + drrs::harness::SystemName(kind)));
+          results.back(), drrs::bench::TaggedPath(args.json_summary, tag));
       if (!js.ok()) std::fprintf(stderr, "%s\n", js.ToString().c_str());
     }
   }
@@ -92,8 +92,9 @@ void RunWorkload(const std::string& workload, const BenchArgs& args) {
 int main(int argc, char** argv) {
   BenchArgs args = BenchArgs::Parse(argc, argv);
   std::printf("DRRS reproduction — Fig 10 (latency comparison)\n");
+  drrs::bench::TagSet tags;
   for (const char* w : {"q7", "q8", "twitch"}) {
-    RunWorkload(w, args);
+    RunWorkload(w, args, tags);
   }
   return 0;
 }

@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "bench/bench_workloads.h"
+#include "harness/json_summary.h"
 
 namespace {
 
@@ -26,7 +27,8 @@ double InputRate(const std::string& workload, double scale) {
   return BenchSetups::Twitch(scale).events_per_second;
 }
 
-void RunWorkload(const std::string& workload, const BenchArgs& args) {
+void RunWorkload(const std::string& workload, const BenchArgs& args,
+                 drrs::bench::TagSet& tags) {
   std::printf("\n=== Fig 11 (%s): throughput during 8->12 rescale ===\n",
               workload.c_str());
   double input_rate = InputRate(workload, args.scale);
@@ -35,7 +37,20 @@ void RunWorkload(const std::string& workload, const BenchArgs& args) {
   std::vector<ExperimentResult> results;
   for (SystemKind kind : systems) {
     auto spec = BuildByName(workload, args.scale);
-    results.push_back(RunExperiment(spec, BenchSetups::Config(kind)));
+    auto config = BenchSetups::Config(kind);
+    config.threads = args.threads;
+    const std::string tag =
+        tags.Unique(workload + "." + drrs::harness::SystemName(kind));
+    args.ApplyTelemetry(config, tag);
+    if (!args.trace.empty()) {
+      config.trace_path = drrs::bench::TaggedPath(args.trace, tag);
+    }
+    results.push_back(RunExperiment(spec, config));
+    if (!args.json_summary.empty()) {
+      drrs::Status js = drrs::harness::WriteJsonSummary(
+          results.back(), drrs::bench::TaggedPath(args.json_summary, tag));
+      if (!js.ok()) std::fprintf(stderr, "%s\n", js.ToString().c_str());
+    }
   }
 
   sim::SimTime from = BenchSetups::ScaleAt();
@@ -67,8 +82,9 @@ void RunWorkload(const std::string& workload, const BenchArgs& args) {
 int main(int argc, char** argv) {
   BenchArgs args = BenchArgs::Parse(argc, argv);
   std::printf("DRRS reproduction — Fig 11 (throughput comparison)\n");
+  drrs::bench::TagSet tags;
   for (const char* w : {"q7", "q8", "twitch"}) {
-    RunWorkload(w, args);
+    RunWorkload(w, args, tags);
   }
   return 0;
 }

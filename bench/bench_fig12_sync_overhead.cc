@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "bench/bench_workloads.h"
+#include "harness/json_summary.h"
 
 namespace {
 
@@ -33,11 +34,25 @@ int main(int argc, char** argv) {
       "dependency-related overhead)\n\n");
   std::printf("%-8s %-12s %26s %26s\n", "workload", "system",
               "cum-propagation(ms)", "avg-dependency(ms)");
+  drrs::bench::TagSet tags;
   for (const char* w : {"q7", "q8", "twitch"}) {
     for (SystemKind kind :
          {SystemKind::kDrrs, SystemKind::kMegaphone, SystemKind::kMeces}) {
       auto spec = BuildByName(w, args.scale);
-      auto r = RunExperiment(spec, BenchSetups::Config(kind));
+      auto config = BenchSetups::Config(kind);
+      config.threads = args.threads;
+      const std::string tag = tags.Unique(
+          std::string(w) + "." + drrs::harness::SystemName(kind));
+      args.ApplyTelemetry(config, tag);
+      if (!args.trace.empty()) {
+        config.trace_path = drrs::bench::TaggedPath(args.trace, tag);
+      }
+      auto r = RunExperiment(spec, config);
+      if (!args.json_summary.empty()) {
+        drrs::Status js = drrs::harness::WriteJsonSummary(
+            r, drrs::bench::TaggedPath(args.json_summary, tag));
+        if (!js.ok()) std::fprintf(stderr, "%s\n", js.ToString().c_str());
+      }
       std::printf("%-8s %-12s %26.1f %26.1f\n", w, r.system.c_str(),
                   sim::ToMillis(r.cumulative_propagation),
                   r.avg_dependency_us / 1000.0);

@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "bench/bench_workloads.h"
+#include "harness/json_summary.h"
 
 namespace {
 
@@ -28,6 +29,7 @@ int main(int argc, char** argv) {
   BenchArgs args = BenchArgs::Parse(argc, argv);
   std::printf("DRRS reproduction — Fig 13 (cumulative suspension time)\n\n");
   const std::string workloads[] = {"q7", "q8", "twitch"};
+  drrs::bench::TagSet tags;
   for (const std::string& w : workloads) {
     std::printf("=== %s ===\n", w.c_str());
     std::printf("%-12s %22s %28s\n", "system", "cum-suspension(ms)",
@@ -36,7 +38,20 @@ int main(int argc, char** argv) {
     for (SystemKind kind :
          {SystemKind::kDrrs, SystemKind::kMegaphone, SystemKind::kMeces}) {
       auto spec = BuildByName(w, args.scale);
-      results.push_back(RunExperiment(spec, BenchSetups::Config(kind)));
+      auto config = BenchSetups::Config(kind);
+      config.threads = args.threads;
+      const std::string tag =
+          tags.Unique(w + "." + drrs::harness::SystemName(kind));
+      args.ApplyTelemetry(config, tag);
+      if (!args.trace.empty()) {
+        config.trace_path = drrs::bench::TaggedPath(args.trace, tag);
+      }
+      results.push_back(RunExperiment(spec, config));
+      if (!args.json_summary.empty()) {
+        drrs::Status js = drrs::harness::WriteJsonSummary(
+            results.back(), drrs::bench::TaggedPath(args.json_summary, tag));
+        if (!js.ok()) std::fprintf(stderr, "%s\n", js.ToString().c_str());
+      }
       const auto& r = results.back();
       std::printf("%-12s %22.1f %15.2f / %-8llu\n", r.system.c_str(),
                   sim::ToMillis(r.cumulative_suspension),

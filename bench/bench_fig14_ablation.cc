@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "bench/bench_workloads.h"
+#include "harness/json_summary.h"
 
 namespace {
 
@@ -33,9 +34,22 @@ int main(int argc, char** argv) {
                                 SystemKind::kDrrsSchedule,
                                 SystemKind::kDrrsSubscale};
   std::vector<ExperimentResult> results;
+  drrs::bench::TagSet tags;
   for (SystemKind kind : systems) {
     auto spec = BuildByName("twitch", args.scale);
-    results.push_back(RunExperiment(spec, BenchSetups::Config(kind)));
+    auto config = BenchSetups::Config(kind);
+    config.threads = args.threads;
+    const std::string tag = tags.Unique(drrs::harness::SystemName(kind));
+    args.ApplyTelemetry(config, tag);
+    if (!args.trace.empty()) {
+      config.trace_path = drrs::bench::TaggedPath(args.trace, tag);
+    }
+    results.push_back(RunExperiment(spec, config));
+    if (!args.json_summary.empty()) {
+      drrs::Status js = drrs::harness::WriteJsonSummary(
+          results.back(), drrs::bench::TaggedPath(args.json_summary, tag));
+      if (!js.ok()) std::fprintf(stderr, "%s\n", js.ToString().c_str());
+    }
   }
 
   sim::SimTime longest = 0;

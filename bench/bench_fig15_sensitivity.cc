@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "bench/bench_workloads.h"
+#include "harness/json_summary.h"
 
 namespace {
 
@@ -35,7 +36,8 @@ constexpr uint64_t kStateBytesPerKey[] = {4096, 16384, 32768};
 constexpr double kSkews[] = {0.0, 0.5, 1.0, 1.5};
 
 double RunCell(SystemKind kind, double rate, uint64_t state_bytes, double skew,
-               double scale) {
+               const BenchArgs& args, drrs::bench::TagSet& tags) {
+  const double scale = args.scale;
   drrs::workloads::CustomParams p;
   p.events_per_second = rate * scale;
   p.num_keys = 5000;
@@ -56,7 +58,24 @@ double RunCell(SystemKind kind, double rate, uint64_t state_bytes, double skew,
   c.scale_at = sim::Seconds(30);
   c.restab_hold = sim::Seconds(15);
   c.engine.check_invariants = false;
+  c.threads = args.threads;
+  // The cell coordinates are part of the tag: a bare system name would
+  // collide 36 times over the grid and silently keep only the last cell.
+  char cell[96];
+  std::snprintf(cell, sizeof(cell), "r%.0f.b%llu.k%.1f.%s", rate,
+                static_cast<unsigned long long>(state_bytes), skew,
+                drrs::harness::SystemName(kind));
+  const std::string tag = tags.Unique(cell);
+  args.ApplyTelemetry(c, tag);
+  if (!args.trace.empty()) {
+    c.trace_path = drrs::bench::TaggedPath(args.trace, tag);
+  }
   auto r = RunExperiment(workload, c);
+  if (!args.json_summary.empty()) {
+    drrs::Status js = drrs::harness::WriteJsonSummary(
+        r, drrs::bench::TaggedPath(args.json_summary, tag));
+    if (!js.ok()) std::fprintf(stderr, "%s\n", js.ToString().c_str());
+  }
 
   // Mean |throughput - input| over the measurement window after the scaling
   // request, as % of the input rate.
@@ -75,6 +94,7 @@ int main(int argc, char** argv) {
       "instances, 256 key-groups)\n\n");
   const SystemKind systems[] = {SystemKind::kDrrs, SystemKind::kMegaphone,
                                 SystemKind::kMeces};
+  drrs::bench::TagSet tags;
   for (double skew : kSkews) {
     std::printf("=== skew %.1f ===\n", skew);
     std::printf("%-8s %-12s", "rate", "state/key");
@@ -87,8 +107,8 @@ int main(int argc, char** argv) {
         std::printf("%-8.0f %-12llu", rate,
                     static_cast<unsigned long long>(bytes));
         for (SystemKind kind : systems) {
-          std::printf(" %13.1f%%", RunCell(kind, rate, bytes, skew,
-                                           args.scale));
+          std::printf(" %13.1f%%", RunCell(kind, rate, bytes, skew, args,
+                                           tags));
         }
         std::printf("\n");
         std::fflush(stdout);

@@ -129,8 +129,12 @@ int main(int argc, char** argv) {
               "peak-queue", "p99-kept(ms)", "sink-recs", "throttles",
               "breaker", "final-level");
 
+  drrs::bench::TagSet tags;
   for (Cell& cell : BuildCells(args)) {
     if (!only.empty() && only != cell.name) continue;
+    const std::string tag = tags.Unique(std::string("flash-crowd.") +
+                                        cell.name);
+    args.ApplyTelemetry(cell.config, tag);
     ExperimentResult r =
         RunExperiment(drrs::workloads::BuildFlashCrowdWorkload(
                           CrowdParams(args.scale)),
@@ -147,8 +151,7 @@ int main(int argc, char** argv) {
                 PressureLevelName(r.final_pressure));
     if (!args.json_summary.empty()) {
       drrs::Status js = drrs::harness::WriteJsonSummary(
-          r, drrs::bench::TaggedPath(args.json_summary,
-                                     std::string("flash-crowd.") + cell.name));
+          r, drrs::bench::TaggedPath(args.json_summary, tag));
       if (!js.ok()) std::fprintf(stderr, "%s\n", js.ToString().c_str());
     }
   }

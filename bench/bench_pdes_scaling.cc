@@ -13,6 +13,7 @@
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <new>
 #include <string>
 #include <thread>
@@ -147,7 +148,16 @@ void EmitResultEntry(std::FILE* f, const char* name, const RunStats& s,
 }
 
 int Main(int argc, char** argv) {
-  const char* out = argc > 1 ? argv[1] : "BENCH_pdes.json";
+  // Output path: positional, or `--json-summary=<path>` so the campaign
+  // runner can drive every bench binary with one flag convention.
+  const char* out = "BENCH_pdes.json";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--json-summary=", 15) == 0) {
+      out = argv[i] + 15;
+    } else if (argv[i][0] != '-') {
+      out = argv[i];
+    }
+  }
   const unsigned cores = std::thread::hardware_concurrency();
   std::printf("bench_pdes_scaling (%u hardware threads)\n", cores);
 

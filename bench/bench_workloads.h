@@ -4,6 +4,8 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <map>
+#include <set>
 #include <string>
 
 #include "harness/experiment.h"
@@ -120,6 +122,10 @@ struct BenchArgs {
   uint32_t threads = 1;
   std::string trace;
   std::string json_summary;
+  /// `--telemetry` turns the sampler on; `--telemetry=<path>` additionally
+  /// writes the sampled series as CSV (tagged per run like --json-summary).
+  bool telemetry = false;
+  std::string telemetry_csv;
 
   static BenchArgs Parse(int argc, char** argv) {
     BenchArgs args;
@@ -138,9 +144,34 @@ struct BenchArgs {
         args.trace = argv[i] + 8;
       } else if (std::strncmp(argv[i], "--json-summary=", 15) == 0) {
         args.json_summary = argv[i] + 15;
+      } else if (std::strcmp(argv[i], "--telemetry") == 0) {
+        args.telemetry = true;
+      } else if (std::strncmp(argv[i], "--telemetry=", 12) == 0) {
+        args.telemetry = true;
+        args.telemetry_csv = argv[i] + 12;
       }
     }
     return args;
+  }
+
+  /// Fold the telemetry flags into an experiment config; `tag` distinguishes
+  /// per-run CSV files the same way TaggedPath tags summaries.
+  void ApplyTelemetry(harness::ExperimentConfig& c,
+                      const std::string& tag) const {
+    if (!telemetry) return;
+    c.telemetry.enabled = true;
+    if (!telemetry_csv.empty()) {
+      c.telemetry.csv_path = telemetry_csv;
+      const std::string ext = ".csv";
+      if (c.telemetry.csv_path.size() >= ext.size() &&
+          c.telemetry.csv_path.compare(c.telemetry.csv_path.size() - ext.size(),
+                                       ext.size(), ext) == 0) {
+        c.telemetry.csv_path.insert(c.telemetry.csv_path.size() - ext.size(),
+                                    "." + tag);
+      } else {
+        c.telemetry.csv_path += "." + tag;
+      }
+    }
   }
 };
 
@@ -156,6 +187,44 @@ inline std::string TaggedPath(std::string base, const std::string& tag) {
   }
   return base;
 }
+
+/// \brief Collision-safe tagging for binaries that run several cells. A bare
+/// TaggedPath silently overwrites when two cells share a system name (e.g.
+/// the same mechanism at two grid points); TagSet disambiguates repeats with
+/// an ordinal suffix ("drrs", "drrs-2", "drrs-3", ...) and aborts with a
+/// structured error if a disambiguated tag still collides (only possible
+/// when a caller passes conflicting explicit tags like "drrs-2").
+class TagSet {
+ public:
+  /// A unique tag for this use: `tag` the first time, "tag-N" on repeats.
+  std::string Unique(const std::string& tag) {
+    int& count = counts_[tag];
+    ++count;
+    std::string unique = tag;
+    if (count > 1) {
+      unique.push_back('-');
+      unique += std::to_string(count);
+    }
+    if (!emitted_.insert(unique).second) {
+      std::fprintf(stderr,
+                   "{\"error\":\"tag_collision\",\"tag\":\"%s\","
+                   "\"resolved\":\"%s\"}\n",
+                   tag.c_str(), unique.c_str());
+      std::abort();
+    }
+    return unique;
+  }
+
+  /// TaggedPath with collision handling: repeats of `tag` get distinct
+  /// suffixes instead of overwriting the earlier file.
+  std::string Path(const std::string& base, const std::string& tag) {
+    return TaggedPath(base, Unique(tag));
+  }
+
+ private:
+  std::map<std::string, int> counts_;
+  std::set<std::string> emitted_;
+};
 
 /// The canonical `--faults` schedule: drop a quarter of the state chunks
 /// (capped) around the migration and recover them via per-chunk

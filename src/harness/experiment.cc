@@ -195,6 +195,22 @@ ExperimentResult RunExperiment(const workloads::WorkloadSpec& workload,
     }
   }
 
+  // Telemetry sampler (runtime-gated, default off). Constructed before
+  // Start() so the first sample's deltas are against true zeros.
+  std::unique_ptr<telemetry::TelemetryRegistry> telemetry_reg;
+  if (config.telemetry.enabled) {
+    telemetry_reg =
+        std::make_unique<telemetry::TelemetryRegistry>(&graph,
+                                                       config.telemetry);
+    if (overload_ctl) telemetry_reg->set_overload(&*overload_ctl, op);
+    if (strategy != nullptr) telemetry_reg->set_strategy(strategy, op);
+#if DRRS_TRACE
+    // Counter tracks ride the primary tracer; samples are taken at engine
+    // serialization points, so appending to partition 0's log is ordered.
+    telemetry_reg->set_tracer(tracers[0].get());
+#endif
+  }
+
   graph.Start();
 
   // Periodic state-size sampling; self-cancels when the sources dry up so a
@@ -224,6 +240,34 @@ ExperimentResult RunExperiment(const workloads::WorkloadSpec& workload,
             }
             return false;
           });
+    }
+  }
+
+  // Telemetry sampling rides the same dual path as the state sampler and
+  // registers after it, so the engine's global-timer order (and therefore
+  // every existing golden) is unchanged when telemetry is off.
+  std::optional<sim::PeriodicProcess> telemetry_sampler;
+  sim::PeriodicProcess* telemetry_handle = nullptr;
+  if (telemetry_reg && config.telemetry.sample_period > 0) {
+    const sim::SimTime period = config.telemetry.sample_period;
+    telemetry::TelemetryRegistry* reg = telemetry_reg.get();
+    if (partitions == 1) {
+      telemetry_sampler.emplace(&sim, period, period, [&, reg]() {
+        reg->Sample(sim.now());
+        for (runtime::SourceTask* s : graph.sources()) {
+          if (!s->exhausted()) return;
+        }
+        if (telemetry_handle != nullptr) telemetry_handle->Cancel();
+      });
+      telemetry_handle = &*telemetry_sampler;
+    } else {
+      engine.AddGlobalTimer(period, period, [reg, &graph](sim::SimTime t) {
+        reg->Sample(t);
+        for (runtime::SourceTask* s : graph.sources()) {
+          if (!s->exhausted()) return true;
+        }
+        return false;
+      });
     }
   }
 
@@ -315,6 +359,20 @@ ExperimentResult RunExperiment(const workloads::WorkloadSpec& workload,
   if (overload_ctl) {
     result.shed_log = overload_ctl->shed_log();
     result.final_pressure = overload_ctl->level();
+  }
+  // End-of-run clock: the furthest any logical process advanced — a pure
+  // function of the job graph, so stable across --threads values.
+  for (uint32_t p = 0; p < partitions; ++p) {
+    result.sim_end = std::max(result.sim_end, engine.partition_sim(p)->now());
+  }
+  if (telemetry_reg) {
+    if (!config.telemetry.csv_path.empty()) {
+      Status csv_st = telemetry_reg->WriteCsv(config.telemetry.csv_path);
+      if (!csv_st.ok()) {
+        DRRS_LOG(Error) << "telemetry csv export failed: " << csv_st.ToString();
+      }
+    }
+    result.telemetry = std::move(telemetry_reg);
   }
   result.hub = std::move(hub);
   return result;

@@ -11,6 +11,7 @@
 #include "runtime/execution_graph.h"
 #include "scaling/scale_service.h"
 #include "sim/simulator.h"
+#include "telemetry/telemetry.h"
 #include "trace/tracer.h"
 #include "verify/auditor.h"
 #include "workloads/workloads.h"
@@ -103,6 +104,12 @@ struct ExperimentConfig {
   /// `trace.flight_dump_path` is left at its default and `trace_path` is
   /// set, flight dumps land next to the trace as `<trace_path>.flight.json`.
   trace::Tracer::Options trace;
+  /// Telemetry sampler (off by default). Unlike tracing this is a runtime
+  /// switch, not a compile gate: when `telemetry.enabled` is false the
+  /// harness constructs nothing and the run is bit-identical to a build
+  /// without the subsystem. Samples ride the same deterministic timer grid
+  /// as the state sampler, so enabling it is also --threads-invariant.
+  telemetry::TelemetryOptions telemetry;
 };
 
 struct ExperimentResult {
@@ -153,6 +160,13 @@ struct ExperimentResult {
   /// Tracer activity (0 unless built with DRRS_TRACE).
   uint64_t trace_events = 0;
   uint64_t flight_dumps = 0;
+
+  /// Simulated end time of the run (the simulator clock after the event
+  /// queue drained or the horizon hit) — the denominator for records/s.
+  sim::SimTime sim_end = 0;
+
+  /// Telemetry series of the run (null unless config.telemetry.enabled).
+  std::unique_ptr<telemetry::TelemetryRegistry> telemetry;
 
   /// Full measurement data for series printing / custom analysis.
   std::unique_ptr<metrics::MetricsHub> hub;

@@ -64,13 +64,30 @@ void AppendHistogram(std::string* out, const char* key,
   *out += '}';
 }
 
+/// Windowed roll-up of one telemetry series: mean/max over the retained
+/// window plus the final reading. The full series lives in the CSV/trace
+/// exports; the summary carries enough to gate on.
+void AppendSeriesStats(std::string* out, const char* key,
+                       const telemetry::RingSeries& s) {
+  AppendKey(out, key);
+  *out += '{';
+  AppendDouble(out, "mean", s.MeanIn(0, sim::kSimTimeMax));
+  *out += ',';
+  AppendDouble(out, "max", s.MaxIn(0, sim::kSimTimeMax));
+  *out += ',';
+  AppendDouble(out, "last", s.Last());
+  *out += ',';
+  AppendU64(out, "samples", s.total_pushed());
+  *out += '}';
+}
+
 }  // namespace
 
 std::string JsonSummary(const ExperimentResult& result) {
   std::string out;
   out.reserve(2048);
   out += '{';
-  AppendU64(&out, "schema_version", 1);
+  AppendU64(&out, "schema_version", 2);
   out += ',';
   AppendString(&out, "system", result.system);
   out += ',';
@@ -228,6 +245,61 @@ std::string JsonSummary(const ExperimentResult& result) {
   AppendU64(&out, "flight_dumps", result.flight_dumps);
   out += "},";
 
+  AppendKey(&out, "telemetry");
+  out += '{';
+  if (result.telemetry == nullptr) {
+    AppendU64(&out, "enabled", 0);
+  } else {
+    const telemetry::TelemetryRegistry& reg = *result.telemetry;
+    AppendU64(&out, "enabled", 1);
+    out += ',';
+    AppendI64(&out, "sample_period_us", reg.options().sample_period);
+    out += ',';
+    AppendU64(&out, "samples", reg.sample_count());
+    out += ',';
+    AppendI64(&out, "last_sample_us", reg.last_sample_time());
+    out += ',';
+    AppendSeriesStats(&out, "latency_p50_ms", reg.latency_p50_ms());
+    out += ',';
+    AppendSeriesStats(&out, "latency_p99_ms", reg.latency_p99_ms());
+    out += ',';
+    AppendKey(&out, "operators");
+    out += '[';
+    for (size_t op = 0; op < reg.operator_count(); ++op) {
+      if (op > 0) out += ',';
+      out += '{';
+      AppendU64(&out, "op", op);
+      out += ',';
+      AppendString(&out, "name", reg.operator_name(
+                                     static_cast<dataflow::OperatorId>(op)));
+      for (size_t k = 0; k < telemetry::kSeriesKindCount; ++k) {
+        out += ',';
+        AppendSeriesStats(
+            &out, telemetry::SeriesName(static_cast<telemetry::SeriesKind>(k)),
+            reg.series(static_cast<dataflow::OperatorId>(op),
+                       static_cast<telemetry::SeriesKind>(k)));
+      }
+      const telemetry::CapacityEstimate& cap =
+          reg.Capacity(static_cast<dataflow::OperatorId>(op));
+      out += ',';
+      AppendKey(&out, "capacity");
+      out += '{';
+      AppendDouble(&out, "rate_per_sec", cap.rate_per_sec);
+      out += ',';
+      AppendDouble(&out, "smoothed", cap.smoothed);
+      out += ',';
+      AppendU64(&out, "samples", cap.samples);
+      out += ',';
+      AppendI64(&out, "last_update_us", cap.last_update);
+      out += '}';
+      out += '}';
+    }
+    out += ']';
+  }
+  out += "},";
+
+  AppendI64(&out, "sim_end_us", result.sim_end);
+  out += ',';
   AppendU64(&out, "source_records", result.source_records);
   out += ',';
   AppendU64(&out, "sink_records", result.sink_records);

@@ -16,6 +16,7 @@ constexpr uint64_t kTrackNet = 2;
 constexpr uint64_t kTrackFault = 3;
 constexpr uint64_t kTrackSim = 4;
 constexpr uint64_t kTaskTrackBase = 16;
+constexpr uint64_t kTelemetryTrackBase = 4096;
 
 uint64_t TaskTrack(dataflow::InstanceId instance) {
   return kTaskTrackBase + instance;
@@ -102,6 +103,8 @@ const char* CategoryName(Category category) {
       return "net.element";
     case kRuntimeRecord:
       return "runtime.record";
+    case kTelemetry:
+      return "telemetry";
   }
   return "unknown";
 }
@@ -638,6 +641,27 @@ void Tracer::OnScaleStageProgress(dataflow::OperatorId op, int from_stage,
   Emit(e);
 }
 
+// ---- telemetry hooks ----
+
+void Tracer::OnTelemetrySample(dataflow::OperatorId op,
+                               const std::string& op_name, const char* series,
+                               sim::SimTime ts, int64_t value) {
+  if (!enabled(kTelemetry)) return;
+  const uint64_t track = kTelemetryTrackBase + op;
+  if (track_names_.find(track) == track_names_.end()) {
+    track_names_[track] = "telemetry " + op_name;
+  }
+  TraceEvent e;
+  e.phase = TraceEvent::Phase::kCounter;
+  e.category = kTelemetry;
+  e.name = series;
+  e.track = track;
+  e.ts = ts;
+  e.args[0] = {"value", value};
+  e.num_args = 1;
+  Emit(e);
+}
+
 // ---- fault hooks ----
 
 void Tracer::OnChunkFault(const char* kind,
@@ -735,7 +759,9 @@ void Tracer::WriteEventsWith(
   for (const auto& [track, name] : track_names) {
     if (!first) *out += ",";
     first = false;
-    char buf[64];
+    // 128, not 64: the fixed part is 61 chars, so a 3+-digit tid (task
+    // instance >= 84, every telemetry track) would truncate mid-key.
+    char buf[128];
     std::snprintf(buf, sizeof(buf),
                   "{\"ph\":\"M\",\"pid\":1,\"tid\":%" PRIu64
                   ",\"name\":\"thread_name\",\"args\":{\"name\":",

@@ -32,10 +32,11 @@ enum Category : uint32_t {
   kSimEvent = 1u << 5,       ///< firehose: one instant per executed event
   kNetElement = 1u << 6,     ///< firehose: per-element send/receive
   kRuntimeRecord = 1u << 7,  ///< firehose: per-record processing spans
+  kTelemetry = 1u << 8,      ///< telemetry sampler counter tracks
 };
 
 constexpr uint32_t kDefaultCategories =
-    kScale | kNet | kRuntime | kFault | kSimQueue;
+    kScale | kNet | kRuntime | kFault | kSimQueue | kTelemetry;
 
 const char* CategoryName(Category category);
 
@@ -91,6 +92,7 @@ struct TraceEvent {
 ///   3 fault-plane   (injected faults, recovery actions)
 ///   4 simulator     (queue depth, per-event firehose)
 ///   16+i            task instance i (stall + processing spans)
+///   4096+op         telemetry counters for operator op (sampler series)
 class Tracer {
  public:
   struct Options {
@@ -201,6 +203,15 @@ class Tracer {
   /// budget.
   void OnScaleStageProgress(dataflow::OperatorId op, int from_stage,
                             int to_stage);
+
+  // ---- telemetry hooks (telemetry::TelemetryRegistry) ----
+
+  /// One sampled counter value for `op`'s telemetry track. `series` and the
+  /// arg key must be static strings (the registry passes SeriesName()
+  /// literals); `ts` is the sampler's simulated time, passed explicitly
+  /// because the registry samples at a barrier, not inside an event body.
+  void OnTelemetrySample(dataflow::OperatorId op, const std::string& op_name,
+                         const char* series, sim::SimTime ts, int64_t value);
 
   // ---- fault hooks (fault::FaultInjector) ----
 

@@ -243,7 +243,11 @@ TEST(JsonSummary, EmitsStableSchemaWithoutHub) {
   r.workload = "custom \"quoted\"";
   r.source_records = 123;
   std::string json = harness::JsonSummary(r);
-  EXPECT_NE(json.find("\"schema_version\":1"), std::string::npos);
+  EXPECT_NE(json.find("\"schema_version\":2"), std::string::npos);
+  // v2 additions: the simulated end time and the telemetry block (rendered
+  // as a disabled stub when the sampler was never constructed).
+  EXPECT_NE(json.find("\"sim_end_us\":0"), std::string::npos);
+  EXPECT_NE(json.find("\"telemetry\":{\"enabled\":0}"), std::string::npos);
   EXPECT_NE(json.find("\"system\":\"drrs\""), std::string::npos);
   EXPECT_NE(json.find("\\\"quoted\\\""), std::string::npos);  // escaping
   EXPECT_NE(json.find("\"latency\":{"), std::string::npos);

@@ -82,6 +82,10 @@ DECISION_PATH_DIRS = (
     # Overload control: every shed/throttle decision must be a pure function
     # of (seed, event order) or bit-identity across thread counts breaks.
     "src/overload",
+    # Telemetry: samples ride the engine-global timer grid and feed committed
+    # CSV/JSON artifacts, so any wall-clock or iteration-order hazard here
+    # breaks byte-identity across --threads.
+    "src/telemetry",
 )
 CXX_EXTENSIONS = (".h", ".cc", ".cpp", ".hpp")
 

@@ -1,9 +1,9 @@
 #!/usr/bin/env python3
-"""Performance gate for the event-engine microbenchmarks.
+"""Performance gate for the event-engine microbenchmarks and figure campaigns.
 
-Compares a fresh `bench_event_engine` run against the committed
-BENCH_engine.json baseline (the *last* history row) and fails when a bench
-regresses beyond the tolerance band:
+Engine mode (default): compares a fresh `bench_event_engine` run against the
+committed BENCH_engine.json baseline (the *last* history row) and fails when
+a bench regresses beyond the tolerance band:
 
   * allocs_per_item — near-deterministic (the allocation count of a fixed
     workload); gated tightly. A regression here means a hot path started
@@ -14,10 +14,21 @@ regresses beyond the tolerance band:
     only catches structural slowdowns (an accidental O(n^2), a debug build),
     not scheduler jitter.
 
-Benches present in the candidate but not in the baseline are reported and
-skipped (new benches gate from the row that first records them). Benches
-present in the baseline but missing from the candidate FAIL — losing
-coverage silently is itself a regression.
+Figure mode (--figure): both candidate and baseline are BENCH_fig*.json
+trajectory files written by tools/campaign.py; the gate diffs the last
+history row of each, per cell. Unlike the engine benches, figure metrics
+come out of the deterministic simulator — they move only when the *modeled*
+behavior changes — so the band (--fig-tol, default 0.10) is a real contract,
+not noise headroom:
+
+  * records_per_sec — floor: baseline * (1 - fig_tol)
+  * mechanism_duration_us — ceiling: baseline * (1 + fig_tol) + 1000 us abs
+  * p99_latency_ms — ceiling: baseline * (1 + fig_tol) + 0.5 ms abs
+
+In both modes: benches/cells present in the candidate but not in the
+baseline are reported and skipped (they gate from the row that first records
+them). Benches/cells present in the baseline but missing from the candidate
+FAIL — losing coverage silently is itself a regression.
 
 Exit status: 0 pass, 1 regression, 2 usage/format error.
 """
@@ -70,11 +81,95 @@ def load_candidate(path):
     return doc
 
 
+def last_figure_row(path):
+    """Return (figure, cells, row_label) from a BENCH_fig*.json trajectory."""
+    with open(path, encoding="utf-8") as f:
+        doc = json.load(f)
+    history = doc.get("history")
+    if not isinstance(history, list) or not history:
+        print(f"error: {path}: no history rows (not a campaign.py trajectory "
+              "file?)", file=sys.stderr)
+        sys.exit(2)
+    row = history[-1]
+    if "cells" not in row:
+        print(f"error: {path}: last history row has no 'cells' table",
+              file=sys.stderr)
+        sys.exit(2)
+    return doc.get("figure", "<unknown>"), row["cells"], \
+        row.get("row", "<unlabeled>")
+
+
+def gate_figure(args):
+    """Figure mode: diff two campaign.py trajectory files cell by cell."""
+    fig_c, cand_cells, row_c = last_figure_row(args.candidate)
+    fig_b, base_cells, row_b = last_figure_row(args.baseline)
+    if fig_c != fig_b:
+        print(f"error: figure mismatch: candidate is '{fig_c}', baseline is "
+              f"'{fig_b}'", file=sys.stderr)
+        sys.exit(2)
+
+    print(f"perf_gate: figure '{fig_b}', baseline row '{row_b}' vs "
+          f"candidate row '{row_c}' (tol {args.fig_tol:.0%})")
+    failures = []
+    # (metric, direction, relative tol factor, absolute slack)
+    gates = [
+        ("records_per_sec", "floor", 1 - args.fig_tol, 0.0),
+        ("mechanism_duration_us", "ceiling", 1 + args.fig_tol, 1000.0),
+        ("p99_latency_ms", "ceiling", 1 + args.fig_tol, 0.5),
+    ]
+    for cell in sorted(base_cells):
+        if cell not in cand_cells:
+            failures.append(f"{cell}: present in baseline but missing from "
+                            "the candidate run")
+            continue
+        base, cand = base_cells[cell], cand_cells[cell]
+        for metric, kind, factor, slack in gates:
+            for side, table in (("baseline", base), ("candidate", cand)):
+                if metric not in table:
+                    print(f"error: cell '{cell}': {side} row has no "
+                          f"'{metric}' field — regenerate with "
+                          "tools/campaign.py", file=sys.stderr)
+                    sys.exit(2)
+            if kind == "floor":
+                bound = base[metric] * factor - slack
+                ok = cand[metric] >= bound
+                word = "floor"
+            else:
+                bound = base[metric] * factor + slack
+                ok = cand[metric] <= bound
+                word = "ceiling"
+            print(f"  {cell:<24} {metric:<22} {cand[metric]:>14.4g} "
+                  f"({word} {bound:>14.4g}) {'OK' if ok else 'FAIL'}")
+            if not ok:
+                failures.append(
+                    f"{cell}: {metric} {cand[metric]:.6g} vs {word} "
+                    f"{bound:.6g} (baseline {base[metric]:.6g})")
+    for cell in sorted(set(cand_cells) - set(base_cells)):
+        print(f"  {cell:<24} new cell, no baseline yet — skipped")
+
+    if failures:
+        print(f"\nperf_gate: {len(failures)} regression(s):", file=sys.stderr)
+        for f in failures:
+            print(f"  {f}", file=sys.stderr)
+        return 1
+    print("perf_gate: OK")
+    return 0
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    parser.add_argument("candidate", help="JSON written by bench_event_engine")
+    parser.add_argument("candidate", help="JSON written by bench_event_engine "
+                        "(or, with --figure, by tools/campaign.py)")
     parser.add_argument("--baseline", default="BENCH_engine.json",
                         help="committed baseline (default: BENCH_engine.json)")
+    parser.add_argument("--figure", action="store_true",
+                        help="gate a BENCH_fig*.json campaign trajectory "
+                             "instead of the engine microbenches")
+    parser.add_argument("--fig-tol", type=float, default=0.10,
+                        help="relative tolerance band for figure metrics "
+                             "(default 0.10; the simulated metrics are "
+                             "deterministic, so this tracks modeled-behavior "
+                             "drift, not machine noise)")
     parser.add_argument("--min-speed-frac", type=float, default=0.5,
                         help="fail if items_per_sec < frac * baseline "
                              "(default 0.5; loose on purpose — CI wall-clock "
@@ -90,6 +185,9 @@ def main():
                              "candidate machine reports at least this many "
                              "hardware threads (default 4)")
     args = parser.parse_args()
+
+    if args.figure:
+        return gate_figure(args)
 
     doc = load_candidate(args.candidate)
     candidate = doc["results"]

@@ -75,8 +75,13 @@ def validate(path, schema, require, min_events, findings):
 
     phases = schema["phases"]
     categories = set(schema["categories"])
+    counter_cfg = schema.get("counter_tracks", {})
+    telemetry_base = counter_cfg.get("telemetry_track_base", 4096)
+    telemetry_series = set(counter_cfg.get("telemetry_series", []))
+    named_tracks = set()
     seen_names = set()
     non_meta = 0
+    telemetry_tracks = set()
     for i, e in enumerate(events):
         where = f"{path}: traceEvents[{i}]"
         if not isinstance(e, dict):
@@ -89,6 +94,9 @@ def validate(path, schema, require, min_events, findings):
         for field in phases[ph]["required"]:
             if field not in e:
                 findings.append(f"{where}: phase '{ph}' missing '{field}'")
+        if ph == "M":
+            if e.get("name") == "thread_name":
+                named_tracks.add(e.get("tid"))
         if ph != "M":
             non_meta += 1
             seen_names.add(e.get("name"))
@@ -100,6 +108,31 @@ def validate(path, schema, require, min_events, findings):
             findings.append(f"{where}: dur is not an integer")
         if "args" in e and not isinstance(e["args"], dict):
             findings.append(f"{where}: args is not an object")
+        if ph == "C":
+            # Counter samples must carry numeric args — Perfetto silently
+            # drops a counter track whose values aren't numbers.
+            for k, v in e.get("args", {}).items():
+                if not isinstance(v, (int, float)):
+                    findings.append(
+                        f"{where}: counter arg '{k}' is not numeric")
+            if e.get("cat") == "telemetry":
+                telemetry_tracks.add(e.get("tid"))
+                if not isinstance(e.get("tid"), int) or \
+                        e["tid"] < telemetry_base:
+                    findings.append(
+                        f"{where}: telemetry counter on tid {e.get('tid')!r},"
+                        f" expected >= {telemetry_base}")
+                if telemetry_series and e.get("name") not in telemetry_series:
+                    findings.append(
+                        f"{where}: unknown telemetry series "
+                        f"{e.get('name')!r}")
+
+    # Every telemetry counter track must be named (the lazily registered
+    # "telemetry <operator>" metadata), or Perfetto shows a bare number.
+    for tid in sorted(telemetry_tracks):
+        if tid not in named_tracks:
+            findings.append(
+                f"{path}: telemetry track {tid} has no thread_name metadata")
 
     if isinstance(doc.get("drrsHistograms"), dict):
         check_histograms(doc["drrsHistograms"], schema, findings, path)
